@@ -1,0 +1,37 @@
+//! Criterion bench behind Table 1: exhaustive multiplier sweeps per
+//! number-generation scheme (4-bit — 256 input pairs per iteration), plus
+//! the raw packed AND-count kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scnn_bitstream::{BitStream, Precision};
+use scnn_rng::MultiplierScheme;
+use scnn_sim::accuracy::multiplier_sweep;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let precision = Precision::new(4).expect("valid");
+    let mut group = c.benchmark_group("table1/multiplier_sweep_4bit");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for scheme in MultiplierScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| multiplier_sweep(black_box(scheme), precision, 1).expect("sweep"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_and_count(c: &mut Criterion) {
+    let x = BitStream::from_fn(4096, |i| i % 3 == 0);
+    let w = BitStream::from_fn(4096, |i| i % 5 != 0);
+    c.bench_function("table1/and_count_4096b", |b| {
+        b.iter(|| black_box(&x).and_count(black_box(&w)).expect("lengths match"))
+    });
+}
+
+criterion_group!(benches, bench_sweeps, bench_and_count);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench behind Table 2: scaled-adder implementations on full
+//! 256-bit streams, and the exhaustive 4-bit accuracy sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scnn_bitstream::{BitStream, Precision};
+use scnn_rng::AdderScheme;
+use scnn_sim::accuracy::adder_sweep;
+use scnn_sim::{MuxAdder, OrAdder, TffAdder};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_adder_ops(c: &mut Criterion) {
+    let x = BitStream::from_fn(256, |i| i % 3 == 0);
+    let y = BitStream::from_fn(256, |i| i % 7 < 3);
+    let select = BitStream::from_fn(256, |i| i % 2 == 0);
+    let mut group = c.benchmark_group("table2/adder_256b");
+    group.bench_function("tff", |b| {
+        b.iter(|| TffAdder::new(false).add(black_box(&x), black_box(&y)).expect("lengths"))
+    });
+    group.bench_function("tff_count_closed_form", |b| {
+        b.iter(|| {
+            TffAdder::new(false)
+                .add_count(black_box(x.count_ones()), black_box(y.count_ones()))
+        })
+    });
+    group.bench_function("mux", |b| {
+        b.iter(|| MuxAdder.add(black_box(&x), black_box(&y), black_box(&select)).expect("lengths"))
+    });
+    group.bench_function("or", |b| {
+        b.iter(|| OrAdder.add(black_box(&x), black_box(&y)).expect("lengths"))
+    });
+    group.finish();
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let precision = Precision::new(4).expect("valid");
+    let mut group = c.benchmark_group("table2/adder_sweep_4bit");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for scheme in AdderScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| b.iter(|| adder_sweep(black_box(scheme), precision, 1).expect("sweep")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adder_ops, bench_sweeps);
+criterion_main!(benches);

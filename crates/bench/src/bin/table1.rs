@@ -1,0 +1,51 @@
+//! Regenerates **Table 1**: MSE of the stochastic multiplier under the
+//! four number-generation schemes, measured exhaustively over every input
+//! pair at 8-bit and 4-bit precision.
+//!
+//! ```text
+//! cargo run -p scnn-bench --release --bin table1
+//! ```
+
+use scnn_bench::report::{sci, Table};
+use scnn_bitstream::Precision;
+use scnn_rng::MultiplierScheme;
+use scnn_sim::accuracy::multiplier_sweep;
+
+/// Paper reference values (8-bit, 4-bit) per scheme, Table 1.
+fn paper_reference(scheme: MultiplierScheme) -> (f64, f64) {
+    match scheme {
+        MultiplierScheme::SharedLfsr => (2.78e-3, 2.99e-3),
+        MultiplierScheme::TwoLfsrs => (2.57e-4, 1.60e-3),
+        MultiplierScheme::LowDiscrepancy => (1.28e-5, 1.01e-3),
+        MultiplierScheme::RampPlusLowDiscrepancy => (8.66e-6, 7.21e-4),
+        _ => (f64::NAN, f64::NAN),
+    }
+}
+
+fn main() {
+    let p8 = Precision::new(8).expect("valid");
+    let p4 = Precision::new(4).expect("valid");
+    let seed = 1;
+    let mut table = Table::new(vec![
+        "Number generation scheme".into(),
+        "8-bit (measured)".into(),
+        "8-bit (paper)".into(),
+        "4-bit (measured)".into(),
+        "4-bit (paper)".into(),
+    ]);
+    for scheme in MultiplierScheme::ALL {
+        let r8 = multiplier_sweep(scheme, p8, seed).expect("sweep");
+        let r4 = multiplier_sweep(scheme, p4, seed).expect("sweep");
+        let (ref8, ref4) = paper_reference(scheme);
+        table.row(vec![
+            scheme.label().into(),
+            sci(r8.mse),
+            sci(ref8),
+            sci(r4.mse),
+            sci(ref4),
+        ]);
+    }
+    println!("# Table 1 — MSE of stochastic multiplier for different RNG methods\n");
+    println!("{}", table.render());
+    println!("(exhaustive over all input pairs; lower is better)");
+}

@@ -1,0 +1,135 @@
+//! Regenerates the **hardware half of Table 3**: throughput-normalized
+//! power, energy per frame, and area for the binary and proposed
+//! stochastic convolution designs at 2–8-bit precision, with activity
+//! factors measured from simulation traces (§VI methodology).
+//!
+//! ```text
+//! cargo run -p scnn-bench --release --bin table3_hw
+//! ```
+
+use scnn_bench::report::Table;
+use scnn_bitstream::Precision;
+use scnn_core::{ScOptions, StochasticConvLayer};
+use scnn_hw::activity::{measure_binary_activity, measure_sc_activity};
+use scnn_hw::table3::{compute, paper_precisions, DesignPoint};
+use scnn_hw::CellLibrary;
+use scnn_nn::data::load_or_synthesize;
+use scnn_nn::layers::{Conv2d, Padding};
+use std::path::Path;
+
+/// Paper Table 3 reference rows, bits 8..=2 in descending order.
+const PAPER_BIN_POWER: [f64; 7] = [40.95, 72.80, 121.52, 204.96, 325.36, 501.76, 683.20];
+const PAPER_SC_POWER: [f64; 7] = [33.17, 33.55, 33.26, 33.01, 33.20, 29.96, 28.35];
+const PAPER_BIN_ENERGY: [f64; 7] = [670.92, 596.38, 497.74, 419.76, 333.17, 256.90, 174.90];
+const PAPER_SC_ENERGY: [f64; 7] = [543.42, 274.82, 136.22, 67.60, 34.00, 15.34, 7.26];
+const PAPER_BIN_AREA: [f64; 7] = [1.313, 1.094, 0.891, 0.710, 0.543, 0.391, 0.255];
+const PAPER_SC_AREA: [f64; 7] = [1.321, 1.282, 1.240, 1.200, 1.166, 1.110, 1.057];
+
+fn render_metric(
+    title: &str,
+    unit: &str,
+    binary: &[DesignPoint],
+    this_work: &[DesignPoint],
+    metric: impl Fn(&DesignPoint) -> f64,
+    paper_bin: &[f64; 7],
+    paper_sc: &[f64; 7],
+) {
+    let mut table = Table::new(vec![
+        "Design".into(),
+        "8 bits".into(),
+        "7 bits".into(),
+        "6 bits".into(),
+        "5 bits".into(),
+        "4 bits".into(),
+        "3 bits".into(),
+        "2 bits".into(),
+    ]);
+    let fmt = |v: f64| {
+        if v >= 100.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.2}")
+        }
+    };
+    let mut row = vec!["Binary".to_string()];
+    row.extend(binary.iter().map(|p| fmt(metric(p))));
+    table.row(row);
+    let mut row = vec!["  (paper)".to_string()];
+    row.extend(paper_bin.iter().map(|&v| fmt(v)));
+    table.row(row);
+    let mut row = vec!["This Work".to_string()];
+    row.extend(this_work.iter().map(|p| fmt(metric(p))));
+    table.row(row);
+    let mut row = vec!["  (paper)".to_string()];
+    row.extend(paper_sc.iter().map(|&v| fmt(v)));
+    table.row(row);
+    println!("## {title} ({unit})\n");
+    println!("{}", table.render());
+}
+
+fn main() {
+    // Activity factors from real traces (paper §VI): a trained-shape conv
+    // and sample images through the actual stream simulator.
+    let (train, _test, source) =
+        load_or_synthesize(Path::new("data/mnist"), 16, 8, 7).expect("data");
+    let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
+    let engine = StochasticConvLayer::from_conv(
+        &conv,
+        Precision::new(8).expect("valid"),
+        ScOptions::this_work(),
+    )
+    .expect("engine");
+    let sc_act = measure_sc_activity(&engine, &train, 8, 24).expect("sc activity");
+    let bin_act = measure_binary_activity(&train, Precision::new(8).expect("valid"), 16);
+    eprintln!("[table3_hw] data source: {source}");
+    eprintln!("[table3_hw] measured SC activity: {sc_act:?}");
+    eprintln!("[table3_hw] measured binary activity: {bin_act:?}");
+
+    let lib = CellLibrary::tsmc65_typical();
+    let t = compute(&paper_precisions(), &sc_act, &bin_act, &lib);
+
+    println!("\n# Table 3 (hardware) — {} cell model, activities from traces\n", lib.name());
+    render_metric(
+        "Throughput-normalized power",
+        "mW",
+        &t.binary,
+        &t.this_work,
+        |p| p.power_mw,
+        &PAPER_BIN_POWER,
+        &PAPER_SC_POWER,
+    );
+    render_metric(
+        "Energy efficiency",
+        "nJ / frame",
+        &t.binary,
+        &t.this_work,
+        |p| p.energy_nj,
+        &PAPER_BIN_ENERGY,
+        &PAPER_SC_ENERGY,
+    );
+    render_metric(
+        "Area",
+        "mm²",
+        &t.binary,
+        &t.this_work,
+        |p| p.area_mm2,
+        &PAPER_BIN_AREA,
+        &PAPER_SC_AREA,
+    );
+
+    for bits in [8u32, 4, 2] {
+        println!(
+            "energy-efficiency gain at {bits}-bit: {:.2}× (paper: {:.2}×)",
+            t.efficiency_gain(bits).expect("present"),
+            match bits {
+                8 => 670.92 / 543.42,
+                4 => 333.17 / 34.00,
+                _ => 174.90 / 7.26,
+            }
+        );
+    }
+    println!(
+        "break-even precision: {} bits (paper: 8)",
+        t.break_even_bits().map_or("none".into(), |b| b.to_string())
+    );
+}

@@ -1,0 +1,133 @@
+//! Dataset and base-model preparation shared by the table harnesses.
+
+use scnn_core::{train_base, BaseModel, TrainConfig};
+use scnn_nn::data::{load_or_synthesize, DataSource, Dataset};
+use std::path::Path;
+
+/// Harness effort level, selected with `--full` on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small subsets and few epochs — minutes, suitable for CI and the
+    /// recorded `EXPERIMENTS.md` runs.
+    Quick,
+    /// Larger subsets — closer to the paper's full 60k/10k protocol.
+    Full,
+}
+
+impl Effort {
+    /// Parses the effort level from process arguments (`--full` enables
+    /// [`Effort::Full`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Effort::Full
+        } else {
+            Effort::Quick
+        }
+    }
+
+    /// Training-set size.
+    pub fn train_size(self) -> usize {
+        match self {
+            Effort::Quick => 1200,
+            Effort::Full => 8000,
+        }
+    }
+
+    /// Test-set size.
+    pub fn test_size(self) -> usize {
+        match self {
+            Effort::Quick => 400,
+            Effort::Full => 2000,
+        }
+    }
+
+    /// Base-model training epochs.
+    pub fn base_epochs(self) -> usize {
+        match self {
+            Effort::Quick => 3,
+            Effort::Full => 6,
+        }
+    }
+
+    /// Tail-retraining epochs.
+    pub fn retrain_epochs(self) -> usize {
+        match self {
+            Effort::Quick => 2,
+            Effort::Full => 4,
+        }
+    }
+}
+
+/// Everything a Table 3 style experiment needs.
+pub struct Workbench {
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+    /// Where the data came from (reported in every table).
+    pub source: DataSource,
+    /// The trained float base model.
+    pub base: BaseModel,
+    /// The effort level used.
+    pub effort: Effort,
+}
+
+/// Loads data (real MNIST from `data/mnist` if present, synthetic digits
+/// otherwise) and trains — or loads from the `target/scnn-cache`
+/// parameter cache — the base model. Delete the cache file to force
+/// retraining.
+///
+/// # Panics
+///
+/// Panics on training errors — harnesses are top-level binaries.
+pub fn prepare(effort: Effort) -> Workbench {
+    let (train, test, source) = load_or_synthesize(
+        Path::new("data/mnist"),
+        effort.train_size(),
+        effort.test_size(),
+        20170327, // DATE 2017 conference date
+    )
+    .expect("dataset preparation failed");
+    eprintln!(
+        "[setup] data source: {source}, {} train / {} test images",
+        train.len(),
+        test.len()
+    );
+    let config = TrainConfig { epochs: effort.base_epochs(), ..TrainConfig::default() };
+    let cache = Path::new("target/scnn-cache").join(format!("base-{source}-{effort:?}.bin"));
+    if let Ok(Some(base)) = BaseModel::load(&cache, &config) {
+        eprintln!(
+            "[setup] loaded cached base model from {} ({:.2}% misclassification)",
+            cache.display(),
+            base.evaluation.misclassification_rate() * 100.0
+        );
+        return Workbench { train, test, source, base, effort };
+    }
+    eprintln!("[setup] training float base model ({} epochs)…", config.epochs);
+    let mut base = train_base(&train, &test, &config).expect("base training failed");
+    eprintln!(
+        "[setup] base model misclassification: {:.2}%",
+        base.evaluation.misclassification_rate() * 100.0
+    );
+    if let Err(e) = base.save(&cache) {
+        eprintln!("[setup] note: could not cache base model: {e}");
+    }
+    Workbench { train, test, source, base, effort }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_sizes_ordered() {
+        assert!(Effort::Quick.train_size() < Effort::Full.train_size());
+        assert!(Effort::Quick.test_size() < Effort::Full.test_size());
+        assert!(Effort::Quick.base_epochs() <= Effort::Full.base_epochs());
+    }
+
+    #[test]
+    fn from_args_defaults_to_quick() {
+        assert_eq!(Effort::from_args(), Effort::Quick);
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Errors produced by bit-stream construction and logical operations.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::{BitStream, Error};
+///
+/// let a = BitStream::zeros(8);
+/// let b = BitStream::zeros(16);
+/// match a.checked_and(&b) {
+///     Err(Error::LengthMismatch { left: 8, right: 16 }) => {}
+///     other => panic!("unexpected: {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two streams participating in a bitwise operation had different lengths.
+    LengthMismatch {
+        /// Length of the left-hand operand.
+        left: usize,
+        /// Length of the right-hand operand.
+        right: usize,
+    },
+    /// A value fell outside its domain (`[0, 1]` for unipolar, `[-1, 1]` for
+    /// bipolar), or was not finite.
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Human-readable domain description, e.g. `"[0, 1]"`.
+        domain: &'static str,
+    },
+    /// A precision was outside the supported `1..=16` bit range.
+    InvalidPrecision {
+        /// The requested number of bits.
+        bits: u32,
+    },
+    /// A bit index was not smaller than the stream length.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The stream length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthMismatch { left, right } => {
+                write!(f, "bit-stream length mismatch: {left} vs {right}")
+            }
+            Error::ValueOutOfRange { value, domain } => {
+                write!(f, "value {value} outside stochastic domain {domain}")
+            }
+            Error::InvalidPrecision { bits } => {
+                write!(f, "precision of {bits} bits outside supported range 1..=16")
+            }
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "bit index {index} out of bounds for stream of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::LengthMismatch { left: 4, right: 8 };
+        assert_eq!(e.to_string(), "bit-stream length mismatch: 4 vs 8");
+        let e = Error::ValueOutOfRange { value: 2.0, domain: "[0, 1]" };
+        assert!(e.to_string().contains("outside stochastic domain"));
+        let e = Error::InvalidPrecision { bits: 40 };
+        assert!(e.to_string().contains("40"));
+        let e = Error::IndexOutOfBounds { index: 9, len: 9 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Packed stochastic bit-stream representation and value semantics.
+//!
+//! In stochastic computing (SC), a number is encoded as a bit-stream whose
+//! probability of a `1` at a randomly chosen position carries the value
+//! (Gaines, 1969). This crate provides the foundational data types shared by
+//! the whole `scnn` workspace:
+//!
+//! * [`BitStream`] — a densely packed (64 bits/word) stream of bits with the
+//!   logical operations SC circuits are built from,
+//! * [`Unipolar`] and [`Bipolar`] — validated value-domain newtypes for the
+//!   `[0, 1]` and `[-1, 1]` interpretations,
+//! * [`Precision`] — the "b bits of precision ⇔ stream length N = 2^b"
+//!   relationship the paper relies on throughout,
+//! * [`Error`] — the crate error type.
+//!
+//! # Example
+//!
+//! ```
+//! use scnn_bitstream::{BitStream, Unipolar};
+//!
+//! # fn main() -> Result<(), scnn_bitstream::Error> {
+//! // The paper's introductory example: X = 001011... has value 0.5.
+//! let x = BitStream::from_bits([false, false, true, false, true, true]);
+//! assert_eq!(x.count_ones(), 3);
+//! assert_eq!(x.unipolar().get(), 0.5);
+//!
+//! // SC multiplication is a single AND gate.
+//! let y = BitStream::from_bits([true, true, true, false, true, true]);
+//! let z = x.checked_and(&y)?;
+//! assert_eq!(z.count_ones(), 3);
+//! # let _ = Unipolar::new(0.5)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod precision;
+mod stream;
+mod value;
+
+pub use error::Error;
+pub use precision::Precision;
+pub use stream::{BitStream, Iter};
+pub use value::{Bipolar, Unipolar};

@@ -1,0 +1,154 @@
+use crate::Error;
+use std::fmt;
+
+/// Number of bits of precision carried by a stochastic bit-stream.
+///
+/// A unipolar stream of length `N` encodes values on the grid
+/// `{0/N, 1/N, …, N/N}`, which is worth `log2 N` bits of precision
+/// (paper, §II-A). The paper sweeps 2–8 bits; this type supports 1–16.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::Precision;
+///
+/// # fn main() -> Result<(), scnn_bitstream::Error> {
+/// let p = Precision::new(4)?;
+/// assert_eq!(p.bits(), 4);
+/// assert_eq!(p.stream_len(), 16);
+/// assert_eq!(p.levels(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Precision {
+    bits: u32,
+}
+
+impl Precision {
+    /// Creates a precision of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPrecision`] unless `1 <= bits <= 16`.
+    pub fn new(bits: u32) -> Result<Self, Error> {
+        if (1..=16).contains(&bits) {
+            Ok(Self { bits })
+        } else {
+            Err(Error::InvalidPrecision { bits })
+        }
+    }
+
+    /// The number of bits, `b`.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The stream length `N = 2^b` required to reach this precision.
+    #[inline]
+    pub fn stream_len(self) -> usize {
+        1usize << self.bits
+    }
+
+    /// The number of distinct representable magnitudes, `2^b`
+    /// (input levels `0..2^b`, matching a `b`-bit binary datapath).
+    #[inline]
+    pub fn levels(self) -> usize {
+        1usize << self.bits
+    }
+
+    /// The largest representable input level, `2^b - 1`.
+    #[inline]
+    pub fn max_level(self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// Quantizes a unipolar value in `[0, 1]` to the nearest level on the
+    /// `b`-bit grid `{0, …, 2^b - 1} / (2^b - 1)`-style *input* scale used by
+    /// stochastic number generators: level `k` encodes `k / 2^b`.
+    ///
+    /// Values are clamped to the representable range.
+    #[inline]
+    pub fn quantize_unipolar(self, value: f64) -> u64 {
+        let n = self.stream_len() as f64;
+        let level = (value * n).round();
+        level.clamp(0.0, self.max_level() as f64) as u64
+    }
+
+    /// The unipolar value encoded by input level `k`, i.e. `k / 2^b`.
+    #[inline]
+    pub fn level_value(self, level: u64) -> f64 {
+        level as f64 / self.stream_len() as f64
+    }
+
+    /// Iterates over every representable input level, `0..2^b`.
+    ///
+    /// Useful for the exhaustive accuracy sweeps of Tables 1 and 2.
+    pub fn all_levels(self) -> impl Iterator<Item = u64> {
+        0..(1u64 << self.bits)
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Precision::new(0).is_err());
+        assert!(Precision::new(17).is_err());
+        for b in 1..=16 {
+            assert_eq!(Precision::new(b).unwrap().bits(), b);
+        }
+    }
+
+    #[test]
+    fn stream_len_is_power_of_two() {
+        let p = Precision::new(8).unwrap();
+        assert_eq!(p.stream_len(), 256);
+        assert_eq!(p.max_level(), 255);
+        let p = Precision::new(2).unwrap();
+        assert_eq!(p.stream_len(), 4);
+    }
+
+    #[test]
+    fn quantize_round_trips_exact_levels() {
+        let p = Precision::new(6).unwrap();
+        for level in p.all_levels() {
+            let v = p.level_value(level);
+            assert_eq!(p.quantize_unipolar(v), level, "level {level}");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let p = Precision::new(4).unwrap();
+        assert_eq!(p.quantize_unipolar(-0.5), 0);
+        assert_eq!(p.quantize_unipolar(2.0), 15);
+        // 1.0 quantizes to the max level (16 is unreachable with a comparator SNG).
+        assert_eq!(p.quantize_unipolar(1.0), 15);
+    }
+
+    #[test]
+    fn all_levels_counts() {
+        let p = Precision::new(5).unwrap();
+        assert_eq!(p.all_levels().count(), 32);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Precision::new(8).unwrap().to_string(), "8-bit");
+    }
+
+    #[test]
+    fn ordering_follows_bits() {
+        assert!(Precision::new(4).unwrap() < Precision::new(8).unwrap());
+    }
+}

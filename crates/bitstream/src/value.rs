@@ -1,0 +1,255 @@
+use crate::Error;
+use std::fmt;
+
+/// A validated value in the unipolar stochastic domain `[0, 1]`.
+///
+/// A unipolar stream `X` encodes `p_X = ones(X) / len(X)`.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::Unipolar;
+///
+/// # fn main() -> Result<(), scnn_bitstream::Error> {
+/// let p = Unipolar::new(0.75)?;
+/// assert_eq!(p.get(), 0.75);
+/// assert_eq!(p.to_bipolar().get(), 0.5); // 2p - 1
+/// assert!(Unipolar::new(1.5).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Unipolar(f64);
+
+impl Unipolar {
+    /// The value `0`.
+    pub const ZERO: Unipolar = Unipolar(0.0);
+    /// The value `1`.
+    pub const ONE: Unipolar = Unipolar(1.0);
+    /// The value `1/2` — the select-stream value of the conventional MUX adder.
+    pub const HALF: Unipolar = Unipolar(0.5);
+
+    /// Creates a unipolar value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ValueOutOfRange`] if `value` is not finite or lies
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, Error> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(Error::ValueOutOfRange { value, domain: "[0, 1]" })
+        }
+    }
+
+    /// Creates a unipolar value, clamping into `[0, 1]` (NaN becomes `0`).
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the inner `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Reinterprets this probability in the bipolar domain: `2p − 1`.
+    #[inline]
+    pub fn to_bipolar(self) -> Bipolar {
+        Bipolar(2.0 * self.0 - 1.0)
+    }
+}
+
+impl fmt::Display for Unipolar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Unipolar> for f64 {
+    fn from(v: Unipolar) -> f64 {
+        v.0
+    }
+}
+
+impl TryFrom<f64> for Unipolar {
+    type Error = Error;
+
+    fn try_from(value: f64) -> Result<Self, Error> {
+        Unipolar::new(value)
+    }
+}
+
+/// A validated value in the bipolar stochastic domain `[-1, 1]`.
+///
+/// A stream `X` with unipolar probability `p_X` encodes the bipolar value
+/// `2·p_X − 1` (paper, §II-A). NN weights live naturally in this domain.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::Bipolar;
+///
+/// # fn main() -> Result<(), scnn_bitstream::Error> {
+/// let w = Bipolar::new(-0.5)?;
+/// assert_eq!(w.to_unipolar().get(), 0.25); // (w + 1) / 2
+/// assert_eq!(w.magnitude_split(), (0.0, 0.5)); // (positive part, negative part)
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bipolar(f64);
+
+impl Bipolar {
+    /// The value `-1`.
+    pub const NEG_ONE: Bipolar = Bipolar(-1.0);
+    /// The value `0`.
+    pub const ZERO: Bipolar = Bipolar(0.0);
+    /// The value `1`.
+    pub const ONE: Bipolar = Bipolar(1.0);
+
+    /// Creates a bipolar value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ValueOutOfRange`] if `value` is not finite or lies
+    /// outside `[-1, 1]`.
+    pub fn new(value: f64) -> Result<Self, Error> {
+        if value.is_finite() && (-1.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(Error::ValueOutOfRange { value, domain: "[-1, 1]" })
+        }
+    }
+
+    /// Creates a bipolar value, clamping into `[-1, 1]` (NaN becomes `0`).
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(-1.0, 1.0))
+        }
+    }
+
+    /// Returns the inner `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to the underlying unipolar stream probability `(v + 1) / 2`.
+    #[inline]
+    pub fn to_unipolar(self) -> Unipolar {
+        Unipolar((self.0 + 1.0) / 2.0)
+    }
+
+    /// Splits into non-negative `(positive, negative)` unipolar magnitudes
+    /// with `value = positive − negative` and at most one part non-zero.
+    ///
+    /// This is the weight decomposition of the paper's §IV-B, where each
+    /// kernel is divided into `w_pos` and `w_neg` streams so that the whole
+    /// first layer runs with unipolar arithmetic only.
+    #[inline]
+    pub fn magnitude_split(self) -> (f64, f64) {
+        if self.0 >= 0.0 {
+            (self.0, 0.0)
+        } else {
+            (0.0, -self.0)
+        }
+    }
+}
+
+impl fmt::Display for Bipolar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Bipolar> for f64 {
+    fn from(v: Bipolar) -> f64 {
+        v.0
+    }
+}
+
+impl TryFrom<f64> for Bipolar {
+    type Error = Error;
+
+    fn try_from(value: f64) -> Result<Self, Error> {
+        Bipolar::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unipolar_rejects_out_of_range() {
+        assert!(Unipolar::new(-0.001).is_err());
+        assert!(Unipolar::new(1.001).is_err());
+        assert!(Unipolar::new(f64::NAN).is_err());
+        assert!(Unipolar::new(f64::INFINITY).is_err());
+        assert!(Unipolar::new(0.0).is_ok());
+        assert!(Unipolar::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn bipolar_rejects_out_of_range() {
+        assert!(Bipolar::new(-1.001).is_err());
+        assert!(Bipolar::new(1.001).is_err());
+        assert!(Bipolar::new(f64::NAN).is_err());
+        assert!(Bipolar::new(-1.0).is_ok());
+        assert!(Bipolar::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Unipolar::saturating(3.0).get(), 1.0);
+        assert_eq!(Unipolar::saturating(-3.0).get(), 0.0);
+        assert_eq!(Unipolar::saturating(f64::NAN).get(), 0.0);
+        assert_eq!(Bipolar::saturating(3.0).get(), 1.0);
+        assert_eq!(Bipolar::saturating(-3.0).get(), -1.0);
+    }
+
+    #[test]
+    fn domain_round_trip() {
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let u = Unipolar::new(p).unwrap();
+            let back = u.to_bipolar().to_unipolar();
+            assert!((back.get() - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn magnitude_split_reconstructs() {
+        for i in -10..=10 {
+            let v = i as f64 / 10.0;
+            let (pos, neg) = Bipolar::new(v).unwrap().magnitude_split();
+            assert!(pos >= 0.0 && neg >= 0.0);
+            assert!((pos - neg - v).abs() < 1e-12);
+            assert!(pos == 0.0 || neg == 0.0);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Unipolar::HALF.get(), 0.5);
+        assert_eq!(Bipolar::NEG_ONE.get(), -1.0);
+        assert_eq!(Unipolar::ZERO.to_bipolar(), Bipolar::NEG_ONE);
+        assert_eq!(Unipolar::ONE.to_bipolar(), Bipolar::ONE);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        assert_eq!(Unipolar::new(0.25).unwrap().to_string(), "0.25");
+        assert_eq!(f64::from(Bipolar::new(-0.5).unwrap()), -0.5);
+        assert!(Unipolar::try_from(0.3).is_ok());
+        assert!(Bipolar::try_from(-2.0).is_err());
+    }
+}

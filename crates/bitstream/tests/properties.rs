@@ -1,0 +1,122 @@
+//! Property-based tests for the packed bit-stream invariants.
+
+use proptest::prelude::*;
+use scnn_bitstream::{Bipolar, BitStream, Precision, Unipolar};
+
+fn arb_stream(max_len: usize) -> impl Strategy<Value = BitStream> {
+    proptest::collection::vec(any::<bool>(), 1..max_len).prop_map(BitStream::from_bits)
+}
+
+fn arb_stream_pair(max_len: usize) -> impl Strategy<Value = (BitStream, BitStream)> {
+    (1..max_len).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(any::<bool>(), len..=len),
+            proptest::collection::vec(any::<bool>(), len..=len),
+        )
+            .prop_map(|(a, b)| (BitStream::from_bits(a), BitStream::from_bits(b)))
+    })
+}
+
+proptest! {
+    /// Packing round-trips through the bit iterator.
+    #[test]
+    fn iter_round_trip(s in arb_stream(400)) {
+        let rebuilt: BitStream = s.iter().collect();
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    /// count_ones + count_zeros always partition the length.
+    #[test]
+    fn counts_partition(s in arb_stream(400)) {
+        prop_assert_eq!(s.count_ones() + s.count_zeros(), s.len() as u64);
+    }
+
+    /// De Morgan: !(a & b) == !a | !b — exercises tail masking on every length.
+    #[test]
+    fn de_morgan((a, b) in arb_stream_pair(300)) {
+        let lhs = a.checked_and(&b).unwrap().not();
+        let rhs = a.not().checked_or(&b.not()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// AND count never exceeds either operand's count (multiplication shrinks
+    /// unipolar values).
+    #[test]
+    fn and_count_bounded((a, b) in arb_stream_pair(300)) {
+        let c = a.and_count(&b).unwrap();
+        prop_assert!(c <= a.count_ones());
+        prop_assert!(c <= b.count_ones());
+        // Inclusion-exclusion lower bound.
+        let floor = (a.count_ones() + b.count_ones()).saturating_sub(a.len() as u64);
+        prop_assert!(c >= floor);
+    }
+
+    /// OR implements inclusion-exclusion exactly.
+    #[test]
+    fn or_inclusion_exclusion((a, b) in arb_stream_pair(300)) {
+        let or = a.checked_or(&b).unwrap().count_ones();
+        let and = a.and_count(&b).unwrap();
+        prop_assert_eq!(or, a.count_ones() + b.count_ones() - and);
+    }
+
+    /// XOR counts the disagreeing positions: ones(a^b) = n10 + n01.
+    #[test]
+    fn xor_counts_disagreements((a, b) in arb_stream_pair(300)) {
+        let (_n11, n10, n01, _n00) = a.pair_counts(&b).unwrap();
+        let xor = a.checked_xor(&b).unwrap().count_ones();
+        prop_assert_eq!(xor, n10 + n01);
+    }
+
+    /// NOT negates the bipolar value exactly.
+    #[test]
+    fn not_negates_bipolar(s in arb_stream(400)) {
+        let v = s.bipolar().get();
+        let nv = s.not().bipolar().get();
+        prop_assert!((v + nv).abs() < 1e-12);
+    }
+
+    /// parse(to_string(s)) == s.
+    #[test]
+    fn display_parse_round_trip(s in arb_stream(200)) {
+        let parsed = BitStream::parse(&s.to_string()).unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+
+    /// Unipolar <-> bipolar conversions are mutually inverse.
+    #[test]
+    fn value_domain_round_trip(p in 0.0f64..=1.0) {
+        let u = Unipolar::new(p).unwrap();
+        prop_assert!((u.to_bipolar().to_unipolar().get() - p).abs() < 1e-12);
+    }
+
+    /// magnitude_split reconstructs the bipolar value with non-negative parts.
+    #[test]
+    fn magnitude_split_reconstructs(v in -1.0f64..=1.0) {
+        let (pos, neg) = Bipolar::new(v).unwrap().magnitude_split();
+        prop_assert!(pos >= 0.0 && neg >= 0.0);
+        prop_assert!((pos - neg - v).abs() < 1e-12);
+    }
+
+    /// Quantization error is at most half a level.
+    #[test]
+    fn quantization_error_bounded(bits in 1u32..=10, p in 0.0f64..1.0) {
+        let prec = Precision::new(bits).unwrap();
+        let level = prec.quantize_unipolar(p);
+        let back = prec.level_value(level);
+        // Error bounded by one level (clamping at the top level can cost a full step).
+        prop_assert!((back - p).abs() <= 1.0 / prec.stream_len() as f64 + 1e-12);
+    }
+
+    /// set() then get() observes the written bit; flip() is an involution.
+    #[test]
+    fn set_get_flip(s in arb_stream(300), idx_frac in 0.0f64..1.0, bit in any::<bool>()) {
+        let mut s = s;
+        let idx = ((s.len() - 1) as f64 * idx_frac) as usize;
+        s.set(idx, bit).unwrap();
+        prop_assert_eq!(s.get(idx), Some(bit));
+        let before = s.clone();
+        s.flip(idx).unwrap();
+        s.flip(idx).unwrap();
+        prop_assert_eq!(s, before);
+    }
+}

@@ -1,0 +1,188 @@
+use crate::Error;
+
+/// A flat arena of equally sized packed bit-streams.
+///
+/// The convolution engines simulate hundreds of thousands of stream
+/// operations per image; allocating a [`BitStream`](scnn_bitstream::BitStream)
+/// per intermediate value would dominate the run time. The arena stores
+/// every stream as a fixed number of `u64` words in one contiguous buffer
+/// and exposes zero-copy slices plus the two packed kernels the engines
+/// need ([`and_count`] and [`Self::write_from_levels`]).
+///
+/// # Example
+///
+/// ```
+/// use scnn_core::StreamArena;
+///
+/// # fn main() -> Result<(), scnn_core::Error> {
+/// let mut arena = StreamArena::new(2, 128)?; // two 128-bit streams
+/// arena.stream_mut(0)[0] = 0b1011;
+/// arena.stream_mut(1)[0] = 0b0110;
+/// assert_eq!(scnn_core::and_count(arena.stream(0), arena.stream(1)), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamArena {
+    words_per_stream: usize,
+    stream_bits: usize,
+    data: Vec<u64>,
+}
+
+impl StreamArena {
+    /// Creates an arena of `count` zeroed streams of `stream_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if `stream_bits` is zero.
+    pub fn new(count: usize, stream_bits: usize) -> Result<Self, Error> {
+        if stream_bits == 0 {
+            return Err(Error::config("stream length must be positive"));
+        }
+        let words_per_stream = stream_bits.div_ceil(64);
+        Ok(Self { words_per_stream, stream_bits, data: vec![0; count * words_per_stream] })
+    }
+
+    /// Words per stream.
+    pub fn words_per_stream(&self) -> usize {
+        self.words_per_stream
+    }
+
+    /// Bits per stream.
+    pub fn stream_bits(&self) -> usize {
+        self.stream_bits
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.words_per_stream).unwrap_or(0)
+    }
+
+    /// Whether the arena holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable word view of stream `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn stream(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words_per_stream..(i + 1) * self.words_per_stream]
+    }
+
+    /// Mutable word view of stream `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn stream_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.data[i * self.words_per_stream..(i + 1) * self.words_per_stream]
+    }
+
+    /// Fills stream `i` with the comparator output `seq[j] < level` for one
+    /// full period — the packed SNG (Fig. 1c).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq.len()` differs from the stream bit length.
+    pub fn write_from_levels(&mut self, i: usize, seq: &[u64], level: u64) {
+        assert_eq!(seq.len(), self.stream_bits, "sequence length mismatch");
+        let words = self.stream_mut(i);
+        words.fill(0);
+        for (j, &r) in seq.iter().enumerate() {
+            if r < level {
+                words[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+    }
+
+    /// Total ones in stream `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.stream(i).iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+/// Popcount of the AND of two equal-length packed streams — one stochastic
+/// multiplication followed by a counter, fused.
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| u64::from((x & y).count_ones())).sum()
+}
+
+/// `out = (sel & a) | (!sel & b)` word-parallel — one MUX-adder node over
+/// packed streams (select `1` picks `a`).
+#[inline]
+pub fn mux_words(out: &mut [u64], a: &[u64], b: &[u64], sel: &[u64]) {
+    debug_assert!(out.len() == a.len() && a.len() == b.len() && b.len() == sel.len());
+    for i in 0..out.len() {
+        out[i] = (sel[i] & a[i]) | (!sel[i] & b[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_shapes() {
+        let a = StreamArena::new(3, 100).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.words_per_stream(), 2);
+        assert_eq!(a.stream_bits(), 100);
+        assert!(!a.is_empty());
+        assert!(StreamArena::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn write_from_levels_matches_direct_comparator() {
+        let seq: Vec<u64> = (0..128).map(|i| (i * 37) % 256).collect();
+        let mut arena = StreamArena::new(1, 128).unwrap();
+        arena.write_from_levels(0, &seq, 100);
+        let expected = seq.iter().filter(|&&r| r < 100).count() as u64;
+        assert_eq!(arena.count(0), expected);
+        // Bit positions agree too.
+        for (j, &r) in seq.iter().enumerate() {
+            let bit = arena.stream(0)[j / 64] >> (j % 64) & 1 == 1;
+            assert_eq!(bit, r < 100, "bit {j}");
+        }
+    }
+
+    #[test]
+    fn write_overwrites_previous_content() {
+        let seq: Vec<u64> = (0..64).collect();
+        let mut arena = StreamArena::new(1, 64).unwrap();
+        arena.write_from_levels(0, &seq, 64);
+        assert_eq!(arena.count(0), 64);
+        arena.write_from_levels(0, &seq, 1);
+        assert_eq!(arena.count(0), 1);
+    }
+
+    #[test]
+    fn and_count_and_mux() {
+        let a = [0b1100u64];
+        let b = [0b1010u64];
+        assert_eq!(and_count(&a, &b), 1);
+        let sel = [0b1111u64];
+        let mut out = [0u64];
+        mux_words(&mut out, &a, &b, &sel);
+        assert_eq!(out[0], a[0]);
+        let sel = [0b0000u64];
+        mux_words(&mut out, &a, &b, &sel);
+        assert_eq!(out[0], b[0]);
+        let sel = [0b0101u64];
+        mux_words(&mut out, &a, &b, &sel);
+        assert_eq!(out[0], (sel[0] & a[0]) | (!sel[0] & b[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length mismatch")]
+    fn sequence_length_validated() {
+        let mut arena = StreamArena::new(1, 64).unwrap();
+        arena.write_from_levels(0, &[1, 2, 3], 2);
+    }
+}

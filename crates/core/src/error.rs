@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors from the hybrid-network layer of the workspace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An engine was configured inconsistently (e.g. wrong image size).
+    Config {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Propagated neural-network framework error.
+    Nn(scnn_nn::Error),
+    /// Propagated bit-stream error.
+    Bitstream(scnn_bitstream::Error),
+    /// Propagated number-generation error.
+    Rng(scnn_rng::Error),
+}
+
+impl Error {
+    pub(crate) fn config(reason: impl Into<String>) -> Self {
+        Error::Config { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config { reason } => write!(f, "engine configuration error: {reason}"),
+            Error::Nn(e) => write!(f, "network error: {e}"),
+            Error::Bitstream(e) => write!(f, "bit-stream error: {e}"),
+            Error::Rng(e) => write!(f, "number generation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config { .. } => None,
+            Error::Nn(e) => Some(e),
+            Error::Bitstream(e) => Some(e),
+            Error::Rng(e) => Some(e),
+        }
+    }
+}
+
+impl From<scnn_nn::Error> for Error {
+    fn from(e: scnn_nn::Error) -> Self {
+        Error::Nn(e)
+    }
+}
+
+impl From<scnn_bitstream::Error> for Error {
+    fn from(e: scnn_bitstream::Error) -> Self {
+        Error::Bitstream(e)
+    }
+}
+
+impl From<scnn_rng::Error> for Error {
+    fn from(e: scnn_rng::Error) -> Self {
+        Error::Rng(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = Error::config("bad");
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let e: Error = scnn_rng::Error::InvalidBase { base: 1 }.into();
+        assert!(e.source().is_some());
+        let e: Error = scnn_bitstream::Error::InvalidPrecision { bits: 0 }.into();
+        assert!(e.to_string().contains("bit-stream"));
+        let e: Error = scnn_nn::Error::InvalidDataset { reason: "x".into() }.into();
+        assert!(e.to_string().contains("network error"));
+    }
+}

@@ -1,0 +1,186 @@
+use crate::baseline::FirstLayer;
+use crate::Error;
+use scnn_nn::data::Dataset;
+use scnn_nn::layers::{Layer, MaxPool2d};
+use scnn_nn::{Evaluation, Network, Tensor};
+
+/// The hybrid stochastic-binary LeNet-5 (paper Fig. 3): a [`FirstLayer`]
+/// engine (stochastic, quantized binary, or float), the fixed 2×2 max-pool,
+/// and the binary tail network.
+///
+/// # Example
+///
+/// ```no_run
+/// use scnn_core::{FloatConvLayer, HybridLenet};
+/// use scnn_nn::lenet::{lenet5_head, lenet5_tail, LenetConfig};
+/// use scnn_nn::layers::Conv2d;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = LenetConfig::default();
+/// let mut head = lenet5_head(&cfg)?;
+/// let conv = head.layer(0).unwrap().as_any().downcast_ref::<Conv2d>().unwrap();
+/// let engine = FloatConvLayer::from_conv(conv, 0.0)?;
+/// let hybrid = HybridLenet::new(Box::new(engine), lenet5_tail(&cfg)?);
+/// # let _ = hybrid;
+/// # Ok(())
+/// # }
+/// ```
+pub struct HybridLenet {
+    head: Box<dyn FirstLayer>,
+    tail: Network,
+}
+
+impl std::fmt::Debug for HybridLenet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridLenet")
+            .field("head", &self.head.label())
+            .field("tail", &self.tail.summary())
+            .finish()
+    }
+}
+
+impl HybridLenet {
+    /// Combines a first-layer engine with a binary tail
+    /// (`lenet5_tail`-shaped: expects `[batch, 32, 14, 14]` inputs).
+    pub fn new(head: Box<dyn FirstLayer>, tail: Network) -> Self {
+        Self { head, tail }
+    }
+
+    /// The first-layer engine's report label.
+    pub fn head_label(&self) -> String {
+        self.head.label()
+    }
+
+    /// Borrow of the binary tail.
+    pub fn tail(&self) -> &Network {
+        &self.tail
+    }
+
+    /// Mutable borrow of the binary tail (what retraining updates).
+    pub fn tail_mut(&mut self) -> &mut Network {
+        &mut self.tail
+    }
+
+    /// Replaces the first-layer engine, keeping the tail (used to compare
+    /// engines on an already retrained tail).
+    pub fn set_head(&mut self, head: Box<dyn FirstLayer>) {
+        self.head = head;
+    }
+
+    /// Runs the engine + pooling over every image, producing the
+    /// `[32, 14, 14]` feature dataset the binary tail consumes.
+    ///
+    /// This is the expensive, cacheable step of the retraining pipeline
+    /// (§V-B): the frozen first layer's outputs are computed once per
+    /// dataset and reused for every retraining epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and shape errors.
+    pub fn extract_features(&self, dataset: &Dataset) -> Result<Dataset, Error> {
+        let kernels = self.head.kernels();
+        let mut pool = MaxPool2d::new();
+        let mut items = Vec::with_capacity(dataset.len());
+        for i in 0..dataset.len() {
+            let raw = self.head.forward_image(dataset.item(i))?;
+            let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
+            let pooled = pool.forward(&t, false)?;
+            items.push(pooled.into_vec());
+        }
+        let labels = dataset.labels().to_vec();
+        Ok(Dataset::from_items(items, &[kernels, 14, 14], labels)?)
+    }
+
+    /// Classifies one image end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and shape errors.
+    pub fn classify_image(&mut self, image: &[f32]) -> Result<usize, Error> {
+        let kernels = self.head.kernels();
+        let raw = self.head.forward_image(image)?;
+        let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
+        let mut pool = MaxPool2d::new();
+        let pooled = pool.forward(&t, false)?;
+        let preds = self.tail.predict(&pooled)?;
+        Ok(preds[0])
+    }
+
+    /// End-to-end accuracy over a dataset (extracts features, then runs
+    /// the tail).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and shape errors.
+    pub fn evaluate(&mut self, dataset: &Dataset, batch_size: usize) -> Result<Evaluation, Error> {
+        let features = self.extract_features(dataset)?;
+        Ok(self.tail.evaluate(&features, batch_size)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::FloatConvLayer;
+    use scnn_nn::data::synthetic;
+    use scnn_nn::lenet::{lenet5_head, lenet5_tail, LenetConfig};
+    use scnn_nn::layers::Conv2d;
+
+    fn make_hybrid() -> HybridLenet {
+        let cfg = LenetConfig::default();
+        let head_net = lenet5_head(&cfg).unwrap();
+        let conv = head_net
+            .layer(0)
+            .unwrap()
+            .as_any()
+            .downcast_ref::<Conv2d>()
+            .unwrap()
+            .clone();
+        let engine = FloatConvLayer::from_conv(&conv, 0.0).unwrap();
+        HybridLenet::new(Box::new(engine), lenet5_tail(&cfg).unwrap())
+    }
+
+    #[test]
+    fn feature_extraction_shapes() {
+        let hybrid = make_hybrid();
+        let ds = synthetic::generate(6, 3);
+        let features = hybrid.extract_features(&ds).unwrap();
+        assert_eq!(features.len(), 6);
+        assert_eq!(features.item_shape(), &[32, 14, 14]);
+        assert_eq!(features.labels(), ds.labels());
+        // Pooled sign features stay ternary.
+        assert!(features.item(0).iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn classify_and_evaluate_agree() {
+        let mut hybrid = make_hybrid();
+        let ds = synthetic::generate(8, 5);
+        let eval = hybrid.evaluate(&ds, 4).unwrap();
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            if hybrid.classify_image(ds.item(i)).unwrap() == usize::from(ds.label(i)) {
+                correct += 1;
+            }
+        }
+        assert_eq!(eval.correct, correct);
+        assert_eq!(eval.total, 8);
+    }
+
+    #[test]
+    fn debug_and_accessors() {
+        let mut hybrid = make_hybrid();
+        assert_eq!(hybrid.head_label(), "float");
+        assert!(format!("{hybrid:?}").contains("float"));
+        assert!(hybrid.tail().summary().contains("dense"));
+        let _ = hybrid.tail_mut();
+        let cfg = LenetConfig::default();
+        let conv = lenet5_head(&cfg)
+            .unwrap()
+            .into_layers()
+            .remove(0);
+        let conv = conv.as_any().downcast_ref::<Conv2d>().unwrap().clone();
+        hybrid.set_head(Box::new(FloatConvLayer::from_conv(&conv, 0.5).unwrap()));
+        assert_eq!(hybrid.head_label(), "float");
+    }
+}

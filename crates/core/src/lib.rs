@@ -1,0 +1,58 @@
+//! The paper's primary contribution: hybrid stochastic-binary neural
+//! network layers and the retraining pipeline.
+//!
+//! Three interchangeable implementations of LeNet-5's first layer
+//! (`sign(x ∘ w)`, §IV-B) are provided behind the [`FirstLayer`] trait:
+//!
+//! * [`StochasticConvLayer`] — the stochastic-computing engine: pixels are
+//!   converted by a ramp-compare analog-to-stochastic converter, weights by
+//!   shared low-discrepancy SNGs, products by AND gates, sums by a tree of
+//!   **TFF adders** (this work) or MUX adders (prior "old SC" work), and
+//!   the ternary activation by counters plus a comparator,
+//! * [`BinaryConvLayer`] — the quantized fixed-point baseline (Table 3
+//!   "Binary" rows),
+//! * [`FloatConvLayer`] — the full-precision reference used to train the
+//!   base model and validate the engines.
+//!
+//! [`HybridLenet`] combines any first layer with the binary LeNet-5 tail,
+//! and [`retrain`] implements §V-B: freeze the first layer, recompute its
+//! feature maps over the training set, and retrain the binary remainder to
+//! absorb the precision loss.
+//!
+//! # Example: run one image through the stochastic engine
+//!
+//! ```
+//! use scnn_core::{FirstLayer, ScOptions, StochasticConvLayer};
+//! use scnn_bitstream::Precision;
+//! use scnn_nn::layers::{Conv2d, Padding};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let conv = Conv2d::new(1, 32, 5, Padding::Same, 42)?;
+//! let engine =
+//!     StochasticConvLayer::from_conv(&conv, Precision::new(8)?, ScOptions::this_work())?;
+//! let image = vec![0.5f32; 28 * 28];
+//! let features = engine.forward_image(&image)?;
+//! assert_eq!(features.len(), 32 * 28 * 28);
+//! assert!(features.iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod baseline;
+mod dense;
+mod error;
+mod hybrid;
+mod retrain;
+mod stochastic;
+
+pub use arena::{and_count, mux_words, StreamArena};
+pub use baseline::{BinaryConvLayer, FirstLayer, FloatConvLayer};
+pub use dense::{DenseInput, StochasticDenseLayer};
+pub use error::Error;
+pub use hybrid::HybridLenet;
+pub use retrain::{retrain, train_base, BaseModel, RetrainConfig, RetrainReport, TrainConfig};
+pub use stochastic::{AdderKind, ScOptions, SourceKind, StochasticConvLayer};

@@ -1,0 +1,619 @@
+use crate::arena::{and_count, mux_words, StreamArena};
+use crate::baseline::{ternary, window_taps, FirstLayer, KernelBank, IMAGE_SIDE};
+use crate::Error;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scnn_bitstream::Precision;
+use scnn_nn::layers::Conv2d;
+use scnn_nn::quant::{pixel_level, weight_level};
+use scnn_rng::{Lfsr, NumberSource, Ramp, Sobol2, TrueRandom, VanDerCorput};
+use scnn_sim::S0Policy;
+
+/// Which number source drives a comparator SNG bank in the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SourceKind {
+    /// Linear ramp — the analog-to-stochastic converter model (paper §IV-A).
+    Ramp,
+    /// Van der Corput (Sobol' dimension 1) low-discrepancy sequence.
+    VanDerCorput,
+    /// Sobol' dimension 2 low-discrepancy sequence.
+    Sobol2,
+    /// Maximal-length LFSR (prior-work configuration).
+    Lfsr,
+    /// Seeded uniform random values.
+    Random,
+}
+
+impl SourceKind {
+    /// Materializes one period of source values (`len` draws of `bits` bits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for unsupported widths.
+    pub fn sequence(self, bits: u32, len: usize, seed: u64) -> Result<Vec<u64>, Error> {
+        let mut src: Box<dyn NumberSource> = match self {
+            SourceKind::Ramp => Box::new(Ramp::new(bits)?),
+            SourceKind::VanDerCorput => Box::new(VanDerCorput::new(bits)?),
+            SourceKind::Sobol2 => Box::new(Sobol2::new(bits)?),
+            SourceKind::Lfsr => {
+                let width = bits.max(3);
+                let mask = (1u64 << width) - 1;
+                let lfsr_seed = (seed & mask).max(1);
+                Box::new(Lfsr::new(width, lfsr_seed)?)
+            }
+            SourceKind::Random => Box::new(TrueRandom::new(bits, seed)?),
+        };
+        let scale_shift = src.width() - bits;
+        Ok((0..len).map(|_| src.next_value() >> scale_shift).collect())
+    }
+}
+
+/// Which scaled-adder tree reduces the dot products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// The proposed TFF adder tree (§III) — exact counting, no selects.
+    Tff,
+    /// The conventional MUX adder tree with LFSR select streams — the
+    /// prior-work ("Old SC") reducer.
+    Mux,
+}
+
+/// Configuration of a [`StochasticConvLayer`].
+///
+/// The two presets mirror the designs Table 3 compares:
+/// [`this_work`](Self::this_work) (ramp-converted pixels, low-discrepancy
+/// weights, TFF adders) and [`old_sc`](Self::old_sc) (LFSR number
+/// generation, MUX adders).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScOptions {
+    /// Adder tree implementation.
+    pub adder: AdderKind,
+    /// Number source behind the pixel (sensor) SNG bank.
+    pub pixel_source: SourceKind,
+    /// Number source behind the shared weight SNG bank.
+    pub weight_source: SourceKind,
+    /// Initial-state policy of the TFF tree (ignored for MUX).
+    pub s0_policy: S0Policy,
+    /// Soft threshold τ in scaled dot-product units (Kim et al.).
+    pub soft_threshold: f32,
+    /// Per-bit flip probability injected into pixel streams (fault
+    /// tolerance experiments); `0.0` disables injection.
+    pub bit_error_rate: f64,
+    /// Seed for LFSRs, random sources and fault injection.
+    pub seed: u64,
+}
+
+impl ScOptions {
+    /// The paper's proposed configuration: ramp-compare pixel conversion,
+    /// Sobol' weight generation, TFF adder tree.
+    pub fn this_work() -> Self {
+        Self {
+            adder: AdderKind::Tff,
+            pixel_source: SourceKind::Ramp,
+            weight_source: SourceKind::Sobol2,
+            s0_policy: S0Policy::Alternating,
+            soft_threshold: 0.0,
+            bit_error_rate: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// The prior-work configuration: LFSR number generation everywhere and
+    /// MUX adder trees (Table 3 "Old SC" rows).
+    pub fn old_sc() -> Self {
+        Self {
+            adder: AdderKind::Mux,
+            pixel_source: SourceKind::Lfsr,
+            weight_source: SourceKind::Lfsr,
+            s0_policy: S0Policy::Alternating,
+            soft_threshold: 0.0,
+            bit_error_rate: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for ScOptions {
+    fn default() -> Self {
+        Self::this_work()
+    }
+}
+
+/// The stochastic first-layer convolution engine (paper Fig. 3, §IV-B).
+///
+/// Per image: each pixel is converted once to a stream of `N = 2^b` bits
+/// (shared by all windows covering it, as in the 784-unit parallel
+/// hardware); each kernel weight is split into positive/negative unipolar
+/// magnitudes and converted once by the shared weight SNG bank; every
+/// window evaluates 25 AND-gate multiplications feeding two scaled-adder
+/// trees (positive and negative), two counters, and a comparator that
+/// implements the ternary sign activation with the trained bias folded in
+/// as a count offset.
+///
+/// The TFF configuration uses the counting closed form of the TFF adder
+/// (§III) as a fast path — bit-exact with the sequential hardware model,
+/// which the test-suite cross-validates against `scnn-sim`'s reference
+/// tree. The MUX configuration is simulated bit-parallel (words of 64
+/// cycles) because its output genuinely depends on which bits the select
+/// streams sample.
+#[derive(Debug, Clone)]
+pub struct StochasticConvLayer {
+    bank: KernelBank,
+    precision: Precision,
+    options: ScOptions,
+    /// Stream length N.
+    n: usize,
+    /// Padded tap count (next power of two ≥ ksize²) — the tree width.
+    padded: usize,
+    /// Source values feeding every pixel comparator.
+    pixel_seq: Vec<u64>,
+    /// Magnitude streams per (kernel, tap).
+    weight_streams: StreamArena,
+    /// Sign of each (kernel, tap) weight.
+    weight_neg: Vec<bool>,
+    /// Select streams for the MUX trees (2·(padded−1) streams), empty for TFF.
+    select_streams: StreamArena,
+}
+
+impl StochasticConvLayer {
+    /// Builds the engine from a trained first-layer convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for non-first-layer convolution shapes or
+    /// unsupported precisions.
+    pub fn from_conv(
+        conv: &Conv2d,
+        precision: Precision,
+        options: ScOptions,
+    ) -> Result<Self, Error> {
+        let bank = KernelBank::from_conv(conv)?;
+        let bits = precision.bits();
+        let n = precision.stream_len();
+        let ksq = bank.ksize * bank.ksize;
+        let padded = ksq.next_power_of_two();
+
+        // Shared weight SNG bank: one sequence, one comparator per weight.
+        const WEIGHT_SEED_SALT: u64 = 0x77_5eed;
+        let weight_seq = options.weight_source.sequence(bits, n, options.seed ^ WEIGHT_SEED_SALT)?;
+        let mut weight_streams = StreamArena::new(bank.kernels * ksq, n)?;
+        let mut weight_neg = vec![false; bank.kernels * ksq];
+        for k in 0..bank.kernels {
+            for t in 0..ksq {
+                let (level, neg) = weight_level(bank.weight(k, t), bits);
+                weight_streams.write_from_levels(k * ksq + t, &weight_seq, level);
+                weight_neg[k * ksq + t] = neg;
+            }
+        }
+
+        // Pixel SNG sequence (regenerated identically for every image —
+        // the hardware's global ramp / shared LFSR).
+        let pixel_seq = options.pixel_source.sequence(bits, n, options.seed ^ 0x1234)?;
+
+        // MUX select streams: one LFSR-driven 1/2 stream per tree node,
+        // shared across all 784 engines (they run in lock-step).
+        let select_streams = if options.adder == AdderKind::Mux {
+            let nodes = 2 * (padded - 1);
+            let mut arena = StreamArena::new(nodes, n)?;
+            for node in 0..nodes {
+                let seq = SourceKind::Lfsr.sequence(
+                    bits,
+                    n,
+                    options.seed ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                )?;
+                arena.write_from_levels(node, &seq, 1u64 << (bits - 1));
+            }
+            arena
+        } else {
+            StreamArena::new(0, n)?
+        };
+
+        Ok(Self {
+            bank,
+            precision,
+            options,
+            n,
+            padded,
+            pixel_seq,
+            weight_streams,
+            weight_neg,
+            select_streams,
+        })
+    }
+
+    /// The operating precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The engine configuration.
+    pub fn options(&self) -> &ScOptions {
+        &self.options
+    }
+
+    /// Stream length `N = 2^b` (clock cycles per frame window).
+    pub fn stream_len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of taps per kernel window (`ksize²`).
+    pub fn taps(&self) -> usize {
+        self.bank.ksize * self.bank.ksize
+    }
+
+    /// Packed words of the magnitude stream for kernel `k`, tap `t`
+    /// (exposed for the hardware activity-factor measurements in `scnn-hw`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `t` is out of range.
+    pub fn weight_stream(&self, k: usize, t: usize) -> &[u64] {
+        self.weight_streams.stream(k * self.taps() + t)
+    }
+
+    /// Whether the weight at kernel `k`, tap `t` feeds the negative tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `t` is out of range.
+    pub fn weight_is_negative(&self, k: usize, t: usize) -> bool {
+        self.weight_neg[k * self.taps() + t]
+    }
+
+    /// Converts the image to its per-pixel streams — step one of the
+    /// pipeline, exposed for tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the image has the wrong size.
+    pub fn pixel_streams(&self, image: &[f32]) -> Result<StreamArena, Error> {
+        if image.len() != IMAGE_SIDE * IMAGE_SIDE {
+            return Err(Error::config(format!(
+                "expected {} pixels, got {}",
+                IMAGE_SIDE * IMAGE_SIDE,
+                image.len()
+            )));
+        }
+        let bits = self.precision.bits();
+        let mut arena = StreamArena::new(image.len(), self.n)?;
+        for (p, &v) in image.iter().enumerate() {
+            arena.write_from_levels(p, &self.pixel_seq, pixel_level(v, bits));
+        }
+        if self.options.bit_error_rate > 0.0 {
+            // Deterministic per image content.
+            let content_hash: u64 =
+                image.iter().enumerate().map(|(i, &v)| (i as u64 + 1) * (v.to_bits() as u64)).sum();
+            let mut rng = StdRng::seed_from_u64(self.options.seed ^ content_hash);
+            let total_bits = image.len() * self.n;
+            for flat in 0..total_bits {
+                if rng.gen_bool(self.options.bit_error_rate) {
+                    let stream = flat / self.n;
+                    let bit = flat % self.n;
+                    arena.stream_mut(stream)[bit / 64] ^= 1u64 << (bit % 64);
+                }
+            }
+        }
+        Ok(arena)
+    }
+
+    /// Folds TFF-adder-tree counts bottom-up — the closed-form fast path.
+    /// Node numbering matches `scnn_sim::TffAdderTree` exactly
+    /// (cross-validated in the tests).
+    fn fold_counts(&self, counts: &mut [u64]) -> u64 {
+        let mut width = self.padded;
+        let mut node = 0usize;
+        while width > 1 {
+            for i in 0..width / 2 {
+                let sum = counts[2 * i] + counts[2 * i + 1];
+                counts[i] =
+                    if self.options.s0_policy.state_for(node) { sum.div_ceil(2) } else { sum / 2 };
+                node += 1;
+            }
+            width /= 2;
+        }
+        counts[0]
+    }
+
+    /// One window-kernel dot product via the MUX trees (bit-parallel).
+    #[allow(clippy::too_many_arguments)]
+    fn mux_window(
+        &self,
+        pixels: &StreamArena,
+        k: usize,
+        oy: usize,
+        ox: usize,
+        scratch: &mut [u64],
+        next: &mut [u64],
+        tree: usize, // 0 = positive, 1 = negative
+    ) -> u64 {
+        let w = pixels.words_per_stream();
+        let ksq = self.bank.ksize * self.bank.ksize;
+        scratch.fill(0);
+        for (t, px) in window_taps(self.bank.ksize, oy, ox) {
+            let idx = k * ksq + t;
+            let is_neg = self.weight_neg[idx];
+            if (tree == 1) != is_neg {
+                continue;
+            }
+            if let Some(p) = px {
+                let pw = pixels.stream(p);
+                let ww = self.weight_streams.stream(idx);
+                let dst = &mut scratch[t * w..(t + 1) * w];
+                for i in 0..w {
+                    dst[i] = pw[i] & ww[i];
+                }
+            }
+        }
+        // Fold the tree level by level (ping-pong between scratch and next).
+        let mut width = self.padded;
+        let mut node = (padded_nodes(self.padded)) * tree;
+        let mut cur: &mut [u64] = scratch;
+        let mut nxt: &mut [u64] = next;
+        while width > 1 {
+            for i in 0..width / 2 {
+                let sel = self.select_streams.stream(node);
+                node += 1;
+                let (a, b) = (&cur[2 * i * w..(2 * i + 1) * w], &cur[(2 * i + 1) * w..(2 * i + 2) * w]);
+                // Select 1 picks the first input, matching sim::MuxAdder's
+                // convention of select picking y when 1 — orientation is
+                // symmetric for a 1/2 select, so either is faithful.
+                mux_words(&mut nxt[i * w..(i + 1) * w], a, b, sel);
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            width /= 2;
+        }
+        cur[..w].iter().map(|x| u64::from(x.count_ones())).sum()
+    }
+}
+
+/// Nodes in one tree of `padded` leaves.
+fn padded_nodes(padded: usize) -> usize {
+    padded - 1
+}
+
+impl FirstLayer for StochasticConvLayer {
+    fn forward_image(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
+        let pixels = self.pixel_streams(image)?;
+        let n_out = IMAGE_SIDE * IMAGE_SIDE;
+        let ksq = self.bank.ksize * self.bank.ksize;
+        let scale = self.padded as f32;
+        let n_f = self.n as f32;
+        let mut out = vec![0.0f32; self.bank.kernels * n_out];
+        let w = pixels.words_per_stream();
+        let mut scratch = vec![0u64; self.padded * w];
+        let mut next = vec![0u64; (self.padded / 2).max(1) * w];
+        let mut pos_counts = vec![0u64; self.padded];
+        let mut neg_counts = vec![0u64; self.padded];
+        for k in 0..self.bank.kernels {
+            for oy in 0..IMAGE_SIDE {
+                for ox in 0..IMAGE_SIDE {
+                    let (pos, neg) = match self.options.adder {
+                        AdderKind::Tff => {
+                            pos_counts.fill(0);
+                            neg_counts.fill(0);
+                            for (t, px) in window_taps(self.bank.ksize, oy, ox) {
+                                if let Some(p) = px {
+                                    let idx = k * ksq + t;
+                                    let c = and_count(
+                                        pixels.stream(p),
+                                        self.weight_streams.stream(idx),
+                                    );
+                                    if self.weight_neg[idx] {
+                                        neg_counts[t] = c;
+                                    } else {
+                                        pos_counts[t] = c;
+                                    }
+                                }
+                            }
+                            (self.fold_counts(&mut pos_counts), self.fold_counts(&mut neg_counts))
+                        }
+                        AdderKind::Mux => (
+                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 0),
+                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 1),
+                        ),
+                    };
+                    // Counter difference, re-normalized to scaled dot-product
+                    // units, plus the bias comparator offset.
+                    let diff_norm = (pos as f32 - neg as f32) * scale / n_f;
+                    let v = diff_norm + self.bank.offsets[k];
+                    out[k * n_out + oy * IMAGE_SIDE + ox] = ternary(v, self.options.soft_threshold);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn kernels(&self) -> usize {
+        self.bank.kernels
+    }
+
+    fn label(&self) -> String {
+        match self.options.adder {
+            AdderKind::Tff => format!("this-work({})", self.precision),
+            AdderKind::Mux => format!("old-sc({})", self.precision),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::FloatConvLayer;
+    use scnn_bitstream::BitStream;
+    use scnn_nn::layers::Padding;
+    use scnn_sim::TffAdderTree;
+
+    fn conv() -> Conv2d {
+        Conv2d::new(1, 8, 5, Padding::Same, 5).unwrap()
+    }
+
+    fn test_image(seed: u64) -> Vec<f32> {
+        (0..784)
+            .map(|i| (((i as u64).wrapping_mul(seed * 7 + 3) % 251) as f32) / 250.0)
+            .collect()
+    }
+
+    fn precision(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn outputs_ternary_and_sized() {
+        for options in [ScOptions::this_work(), ScOptions::old_sc()] {
+            let engine = StochasticConvLayer::from_conv(&conv(), precision(4), options).unwrap();
+            let out = engine.forward_image(&test_image(1)).unwrap();
+            assert_eq!(out.len(), 8 * 784);
+            assert!(out.iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn tff_fold_matches_sim_reference_tree() {
+        // The inline fold must agree with scnn-sim's TffAdderTree for every
+        // policy and count pattern.
+        for policy in [S0Policy::AllZero, S0Policy::AllOne, S0Policy::Alternating] {
+            let opts = ScOptions { s0_policy: policy, ..ScOptions::this_work() };
+            let engine = StochasticConvLayer::from_conv(&conv(), precision(6), opts).unwrap();
+            let tree = TffAdderTree::new(32, policy).unwrap();
+            for seed in 0..20u64 {
+                let counts: Vec<u64> =
+                    (0..32).map(|i| (seed.wrapping_mul(31 + i) ^ i) % 65).collect();
+                let mut scratch = counts.clone();
+                assert_eq!(
+                    engine.fold_counts(&mut scratch),
+                    tree.fold_counts(&counts),
+                    "policy {policy:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tff_engine_matches_bit_level_stream_simulation() {
+        // Cross-validate one window of the packed fast path against a fully
+        // sequential scnn-sim simulation built from the same streams.
+        let engine =
+            StochasticConvLayer::from_conv(&conv(), precision(6), ScOptions::this_work()).unwrap();
+        let img = test_image(3);
+        let pixels = engine.pixel_streams(&img).unwrap();
+        let ksq = 25;
+        let (k, oy, ox) = (2usize, 10usize, 12usize);
+        // Reconstruct BitStreams and run the reference tree.
+        let to_stream = |words: &[u64]| BitStream::from_words(words.to_vec(), engine.stream_len());
+        let mut pos_inputs = Vec::new();
+        let mut neg_inputs = Vec::new();
+        for (t, px) in window_taps(5, oy, ox) {
+            let idx = k * ksq + t;
+            let product = match px {
+                Some(p) => to_stream(pixels.stream(p))
+                    .checked_and(&to_stream(engine.weight_streams.stream(idx)))
+                    .unwrap(),
+                None => BitStream::zeros(engine.stream_len()),
+            };
+            if engine.weight_neg[idx] {
+                neg_inputs.push(product);
+                pos_inputs.push(BitStream::zeros(engine.stream_len()));
+            } else {
+                pos_inputs.push(product);
+                neg_inputs.push(BitStream::zeros(engine.stream_len()));
+            }
+        }
+        let tree = TffAdderTree::new(25, engine.options().s0_policy).unwrap();
+        let pos_ref = tree.add_streams(&pos_inputs).unwrap().count_ones();
+        let neg_ref = tree.add_streams(&neg_inputs).unwrap().count_ones();
+
+        // Fast path equivalents.
+        let mut pos_counts = vec![0u64; engine.padded];
+        let mut neg_counts = vec![0u64; engine.padded];
+        for (t, px) in window_taps(5, oy, ox) {
+            if let Some(p) = px {
+                let idx = k * ksq + t;
+                let c = and_count(pixels.stream(p), engine.weight_streams.stream(idx));
+                if engine.weight_neg[idx] {
+                    neg_counts[t] = c;
+                } else {
+                    pos_counts[t] = c;
+                }
+            }
+        }
+        assert_eq!(engine.fold_counts(&mut pos_counts), pos_ref);
+        assert_eq!(engine.fold_counts(&mut neg_counts), neg_ref);
+    }
+
+    #[test]
+    fn this_work_approaches_float_reference_with_precision() {
+        let c = conv();
+        let float = FloatConvLayer::from_conv(&c, 0.0).unwrap();
+        let img = test_image(9);
+        let reference = float.forward_image(&img).unwrap();
+        let mismatch_at = |bits: u32| {
+            let engine =
+                StochasticConvLayer::from_conv(&c, precision(bits), ScOptions::this_work())
+                    .unwrap();
+            let got = engine.forward_image(&img).unwrap();
+            got.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() > 0.5).count()
+        };
+        let m4 = mismatch_at(4);
+        let m8 = mismatch_at(8);
+        assert!(m8 < reference.len() / 10, "8-bit mismatches {m8}");
+        assert!(m8 <= m4 + reference.len() / 100, "m8={m8} m4={m4}");
+    }
+
+    #[test]
+    fn this_work_beats_old_sc_against_reference() {
+        let c = conv();
+        let float = FloatConvLayer::from_conv(&c, 0.0).unwrap();
+        let img = test_image(13);
+        let reference = float.forward_image(&img).unwrap();
+        let mismatch = |options: ScOptions| {
+            let engine = StochasticConvLayer::from_conv(&c, precision(6), options).unwrap();
+            let got = engine.forward_image(&img).unwrap();
+            got.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() > 0.5).count()
+        };
+        let new = mismatch(ScOptions::this_work());
+        let old = mismatch(ScOptions::old_sc());
+        assert!(new < old, "this-work {new} vs old-sc {old} feature errors");
+    }
+
+    #[test]
+    fn bit_errors_degrade_gracefully() {
+        let c = conv();
+        let clean_opts = ScOptions::this_work();
+        let noisy_opts = ScOptions { bit_error_rate: 0.02, ..clean_opts };
+        let img = test_image(17);
+        let clean = StochasticConvLayer::from_conv(&c, precision(6), clean_opts)
+            .unwrap()
+            .forward_image(&img)
+            .unwrap();
+        let noisy = StochasticConvLayer::from_conv(&c, precision(6), noisy_opts)
+            .unwrap()
+            .forward_image(&img)
+            .unwrap();
+        let flipped =
+            clean.iter().zip(&noisy).filter(|(a, b)| (*a - *b).abs() > 0.5).count();
+        // 2% stream bit errors should flip only a small fraction of the
+        // ternary features — SC's graceful degradation (paper §I).
+        assert!(flipped < clean.len() / 10, "{flipped} of {} features flipped", clean.len());
+    }
+
+    #[test]
+    fn label_and_accessors() {
+        let engine =
+            StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::this_work()).unwrap();
+        assert_eq!(engine.label(), "this-work(4-bit)");
+        assert_eq!(engine.stream_len(), 16);
+        assert_eq!(engine.kernels(), 8);
+        assert_eq!(engine.precision().bits(), 4);
+        let old =
+            StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::old_sc()).unwrap();
+        assert_eq!(old.label(), "old-sc(4-bit)");
+    }
+
+    #[test]
+    fn rejects_wrong_image() {
+        let engine =
+            StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::this_work()).unwrap();
+        assert!(engine.forward_image(&[0.0; 10]).is_err());
+    }
+}

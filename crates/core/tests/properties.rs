@@ -1,0 +1,177 @@
+//! Property-based tests for the hybrid-engine invariants.
+
+use proptest::prelude::*;
+use scnn_bitstream::Precision;
+use scnn_core::{
+    and_count, BinaryConvLayer, FirstLayer, FloatConvLayer, ScOptions, SourceKind, StreamArena,
+    StochasticConvLayer,
+};
+use scnn_nn::layers::{Conv2d, Padding};
+use scnn_sim::S0Policy;
+
+fn small_conv(seed: u64) -> Conv2d {
+    Conv2d::new(1, 4, 5, Padding::Same, seed).expect("valid conv")
+}
+
+fn image_from_seed(seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..784)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) & 0xff) as f32 / 255.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every engine produces ternary outputs of the right size for any image.
+    #[test]
+    fn engines_always_ternary(seed in 0u64..1000, bits in 2u32..=8) {
+        let conv = small_conv(seed);
+        let image = image_from_seed(seed ^ 0xDEAD);
+        let precision = Precision::new(bits).unwrap();
+        let engines: Vec<Box<dyn FirstLayer>> = vec![
+            Box::new(FloatConvLayer::from_conv(&conv, 0.0).unwrap()),
+            Box::new(BinaryConvLayer::from_conv(&conv, precision, 0.0).unwrap()),
+            Box::new(
+                StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work()).unwrap(),
+            ),
+        ];
+        for engine in engines {
+            let out = engine.forward_image(&image).unwrap();
+            prop_assert_eq!(out.len(), 4 * 784);
+            prop_assert!(out.iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        }
+    }
+
+    /// The stochastic engine is deterministic: same configuration and image
+    /// → identical features.
+    #[test]
+    fn stochastic_engine_deterministic(seed in 0u64..500, bits in 3u32..=7) {
+        let conv = small_conv(seed);
+        let image = image_from_seed(seed);
+        let precision = Precision::new(bits).unwrap();
+        let a = StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work())
+            .unwrap()
+            .forward_image(&image)
+            .unwrap();
+        let b = StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work())
+            .unwrap()
+            .forward_image(&image)
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Raising the soft threshold can only move features toward zero.
+    #[test]
+    fn soft_threshold_monotone(seed in 0u64..500, tau in 0.0f32..2.0) {
+        let conv = small_conv(seed);
+        let image = image_from_seed(seed ^ 7);
+        let strict = FloatConvLayer::from_conv(&conv, 0.0).unwrap().forward_image(&image).unwrap();
+        let relaxed = FloatConvLayer::from_conv(&conv, tau).unwrap().forward_image(&image).unwrap();
+        for (s, r) in strict.iter().zip(&relaxed) {
+            // relaxed is either equal or zeroed.
+            prop_assert!(*r == *s || *r == 0.0, "s={s} r={r}");
+        }
+    }
+
+    /// Pixel streams encode the quantized pixel level exactly for the ramp
+    /// converter (thermometer code), for every image.
+    #[test]
+    fn ramp_pixel_streams_exact(seed in 0u64..500, bits in 2u32..=8) {
+        let conv = small_conv(3);
+        let precision = Precision::new(bits).unwrap();
+        let engine =
+            StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work()).unwrap();
+        let image = image_from_seed(seed);
+        let streams = engine.pixel_streams(&image).unwrap();
+        for (p, &v) in image.iter().enumerate().step_by(37) {
+            let expected = scnn_nn::quant::pixel_level(v, bits);
+            prop_assert_eq!(streams.count(p), expected, "pixel {}", p);
+        }
+    }
+
+    /// The arena's and_count matches BitStream's on identical content.
+    #[test]
+    fn arena_and_count_matches_bitstream(len in 1usize..300, seed in any::<u64>()) {
+        let mut a = StreamArena::new(2, len).unwrap();
+        let mut bits_a = Vec::with_capacity(len);
+        let mut bits_b = Vec::with_capacity(len);
+        let mut state = seed | 1;
+        for i in 0..len {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let (ba, bb) = (state >> 62 & 1 == 1, state >> 33 & 1 == 1);
+            if ba {
+                a.stream_mut(0)[i / 64] |= 1 << (i % 64);
+            }
+            if bb {
+                a.stream_mut(1)[i / 64] |= 1 << (i % 64);
+            }
+            bits_a.push(ba);
+            bits_b.push(bb);
+        }
+        let sa = scnn_bitstream::BitStream::from_bits(bits_a);
+        let sb = scnn_bitstream::BitStream::from_bits(bits_b);
+        prop_assert_eq!(and_count(a.stream(0), a.stream(1)), sa.and_count(&sb).unwrap());
+    }
+
+    /// Engine feature agreement with the float head never gets *worse* by
+    /// more than noise when precision increases 4 → 8 bits (TFF engine).
+    #[test]
+    fn precision_helps_fidelity(seed in 0u64..200) {
+        let conv = small_conv(seed);
+        let image = image_from_seed(seed ^ 0xF00D);
+        let float = FloatConvLayer::from_conv(&conv, 0.0).unwrap();
+        let reference = float.forward_image(&image).unwrap();
+        let mismatch = |bits: u32| {
+            let engine = StochasticConvLayer::from_conv(
+                &conv,
+                Precision::new(bits).unwrap(),
+                ScOptions::this_work(),
+            )
+            .unwrap();
+            let got = engine.forward_image(&image).unwrap();
+            got.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() > 0.5).count()
+        };
+        let m4 = mismatch(4);
+        let m8 = mismatch(8);
+        // Allow a small noise margin (3% of features).
+        prop_assert!(m8 <= m4 + reference.len() / 33, "m4={m4} m8={m8}");
+    }
+
+    /// All S0 policies and source pairings produce valid engines.
+    #[test]
+    fn all_option_combinations_work(
+        policy in prop_oneof![
+            Just(S0Policy::AllZero),
+            Just(S0Policy::AllOne),
+            Just(S0Policy::Alternating)
+        ],
+        pixel in prop_oneof![
+            Just(SourceKind::Ramp),
+            Just(SourceKind::VanDerCorput),
+            Just(SourceKind::Lfsr),
+            Just(SourceKind::Random)
+        ],
+        weight in prop_oneof![
+            Just(SourceKind::Sobol2),
+            Just(SourceKind::VanDerCorput),
+            Just(SourceKind::Lfsr)
+        ],
+        bits in 2u32..=6,
+    ) {
+        let conv = small_conv(1);
+        let options = ScOptions {
+            s0_policy: policy,
+            pixel_source: pixel,
+            weight_source: weight,
+            ..ScOptions::this_work()
+        };
+        let engine =
+            StochasticConvLayer::from_conv(&conv, Precision::new(bits).unwrap(), options).unwrap();
+        let out = engine.forward_image(&image_from_seed(9)).unwrap();
+        prop_assert!(out.iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+    }
+}

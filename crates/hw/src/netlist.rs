@@ -1,0 +1,199 @@
+use crate::{Cell, CellLibrary};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A bill of standard cells, each carrying an **activity factor**: the
+/// average fraction of clock cycles in which the cell's output toggles.
+///
+/// This is the granularity at which the power model works — the same
+/// abstraction as a synthesis report plus a switching-activity file.
+///
+/// # Example
+///
+/// ```
+/// use scnn_hw::{Cell, CellLibrary, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// nl.insert(Cell::And2, 25, 0.3); // 25 stochastic multipliers
+/// nl.insert(Cell::Dff, 9, 0.5); // a counter
+/// let lib = CellLibrary::tsmc65_typical();
+/// assert!(nl.area_mm2(&lib) > 0.0);
+/// assert!(nl.dynamic_energy_per_cycle_fj(&lib) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    /// Cell → (instance count, mean activity factor).
+    entries: BTreeMap<Cell, (f64, f64)>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `count` instances of `cell` toggling with probability
+    /// `activity` per cycle. Repeated additions of the same cell class
+    /// merge, activity-weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]` or `count` is negative.
+    pub fn insert(&mut self, cell: Cell, count: impl Into<f64>, activity: f64) {
+        let count = count.into();
+        assert!((0.0..=1.0).contains(&activity), "activity {activity} outside [0, 1]");
+        assert!(count >= 0.0, "negative count");
+        let entry = self.entries.entry(cell).or_insert((0.0, 0.0));
+        let total = entry.0 + count;
+        if total > 0.0 {
+            entry.1 = (entry.0 * entry.1 + count * activity) / total;
+        }
+        entry.0 = total;
+    }
+
+    /// Total instance count of one cell class.
+    pub fn count(&self, cell: Cell) -> f64 {
+        self.entries.get(&cell).map_or(0.0, |e| e.0)
+    }
+
+    /// Total instances across all classes.
+    pub fn total_cells(&self) -> f64 {
+        self.entries.values().map(|e| e.0).sum()
+    }
+
+    /// Silicon area in mm² under `lib`.
+    pub fn area_mm2(&self, lib: &CellLibrary) -> f64 {
+        self.entries
+            .iter()
+            .map(|(&cell, &(count, _))| count * lib.area_um2(cell))
+            .sum::<f64>()
+            / 1e6
+    }
+
+    /// Mean dynamic energy per clock cycle in femtojoules:
+    /// `Σ count · (activity · E_toggle + E_clock)`.
+    pub fn dynamic_energy_per_cycle_fj(&self, lib: &CellLibrary) -> f64 {
+        self.entries
+            .iter()
+            .map(|(&cell, &(count, activity))| {
+                count * (activity * lib.toggle_energy_fj(cell) + lib.clock_energy_fj(cell))
+            })
+            .sum()
+    }
+
+    /// Total leakage power in milliwatts.
+    pub fn leakage_mw(&self, lib: &CellLibrary) -> f64 {
+        self.entries
+            .iter()
+            .map(|(&cell, &(count, _))| count * lib.leakage_nw(cell))
+            .sum::<f64>()
+            / 1e6
+    }
+}
+
+impl Add for Netlist {
+    type Output = Netlist;
+
+    fn add(mut self, rhs: Netlist) -> Netlist {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Netlist {
+    fn add_assign(&mut self, rhs: Netlist) {
+        for (cell, (count, activity)) in rhs.entries {
+            self.insert(cell, count, activity);
+        }
+    }
+}
+
+impl Mul<f64> for Netlist {
+    type Output = Netlist;
+
+    /// Scales instance counts (replication), keeping activities.
+    fn mul(mut self, rhs: f64) -> Netlist {
+        assert!(rhs >= 0.0, "negative replication factor");
+        for entry in self.entries.values_mut() {
+            entry.0 *= rhs;
+        }
+        self
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(cell, (count, act))| format!("{cell}×{count:.0}@{act:.2}"))
+            .collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_merges_activity_weighted() {
+        let mut nl = Netlist::new();
+        nl.insert(Cell::And2, 10, 0.2);
+        nl.insert(Cell::And2, 10, 0.4);
+        assert_eq!(nl.count(Cell::And2), 20.0);
+        let lib = CellLibrary::default();
+        // Mean activity should be 0.3.
+        let e = nl.dynamic_energy_per_cycle_fj(&lib);
+        let expected = 20.0 * 0.3 * lib.toggle_energy_fj(Cell::And2);
+        assert!((e - expected).abs() < 1e-9, "{e} vs {expected}");
+    }
+
+    #[test]
+    fn area_and_leakage_scale_with_count() {
+        let lib = CellLibrary::default();
+        let mut a = Netlist::new();
+        a.insert(Cell::Dff, 100, 0.5);
+        let b = a.clone() * 3.0;
+        assert!((b.area_mm2(&lib) - 3.0 * a.area_mm2(&lib)).abs() < 1e-12);
+        assert!((b.leakage_mw(&lib) - 3.0 * a.leakage_mw(&lib)).abs() < 1e-12);
+        assert_eq!(b.total_cells(), 300.0);
+    }
+
+    #[test]
+    fn addition_combines_netlists() {
+        let mut a = Netlist::new();
+        a.insert(Cell::Inv, 5, 0.1);
+        let mut b = Netlist::new();
+        b.insert(Cell::Inv, 5, 0.3);
+        b.insert(Cell::Xor2, 2, 0.2);
+        let c = a + b;
+        assert_eq!(c.count(Cell::Inv), 10.0);
+        assert_eq!(c.count(Cell::Xor2), 2.0);
+    }
+
+    #[test]
+    fn sequential_cells_pay_clock_even_when_idle() {
+        let lib = CellLibrary::default();
+        let mut nl = Netlist::new();
+        nl.insert(Cell::Dff, 10, 0.0);
+        assert!(nl.dynamic_energy_per_cycle_fj(&lib) > 0.0);
+        let mut comb = Netlist::new();
+        comb.insert(Cell::And2, 10, 0.0);
+        assert_eq!(comb.dynamic_energy_per_cycle_fj(&lib), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn activity_validated() {
+        Netlist::new().insert(Cell::Inv, 1, 1.5);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut nl = Netlist::new();
+        nl.insert(Cell::Tff, 31, 0.25);
+        assert!(nl.to_string().contains("TFF"));
+    }
+}

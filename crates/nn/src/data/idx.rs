@@ -1,0 +1,182 @@
+//! Parser for the IDX file format used by the MNIST distribution
+//! (`train-images-idx3-ubyte` etc.): a big-endian magic/dimension header
+//! followed by raw `u8` payload.
+
+use super::Dataset;
+use crate::Error;
+use std::path::Path;
+
+fn be_u32(bytes: &[u8], offset: usize) -> Result<u32, Error> {
+    bytes
+        .get(offset..offset + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| Error::ParseIdx { reason: format!("truncated header at byte {offset}") })
+}
+
+/// Parses an IDX3 image file (magic `0x00000803`) into normalized `[0, 1]`
+/// pixel rows.
+///
+/// Returns `(pixels, count, rows, cols)` with `pixels.len() = count·rows·cols`.
+///
+/// # Errors
+///
+/// Returns [`Error::ParseIdx`] on a wrong magic number or truncated payload.
+pub fn parse_idx_images(bytes: &[u8]) -> Result<(Vec<f32>, usize, usize, usize), Error> {
+    let magic = be_u32(bytes, 0)?;
+    if magic != 0x0000_0803 {
+        return Err(Error::ParseIdx { reason: format!("bad image magic {magic:#010x}") });
+    }
+    let count = be_u32(bytes, 4)? as usize;
+    let rows = be_u32(bytes, 8)? as usize;
+    let cols = be_u32(bytes, 12)? as usize;
+    let expected = count * rows * cols;
+    let payload = bytes
+        .get(16..16 + expected)
+        .ok_or_else(|| Error::ParseIdx { reason: format!("expected {expected} pixels") })?;
+    Ok((payload.iter().map(|&b| f32::from(b) / 255.0).collect(), count, rows, cols))
+}
+
+/// Parses an IDX1 label file (magic `0x00000801`).
+///
+/// # Errors
+///
+/// Returns [`Error::ParseIdx`] on a wrong magic number or truncated payload.
+pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, Error> {
+    let magic = be_u32(bytes, 0)?;
+    if magic != 0x0000_0801 {
+        return Err(Error::ParseIdx { reason: format!("bad label magic {magic:#010x}") });
+    }
+    let count = be_u32(bytes, 4)? as usize;
+    let payload = bytes
+        .get(8..8 + count)
+        .ok_or_else(|| Error::ParseIdx { reason: format!("expected {count} labels") })?;
+    Ok(payload.to_vec())
+}
+
+fn read_pair(dir: &Path, images: &str, labels: &str) -> Result<Option<Dataset>, Error> {
+    let img_path = dir.join(images);
+    let lbl_path = dir.join(labels);
+    if !img_path.exists() || !lbl_path.exists() {
+        return Ok(None);
+    }
+    let img_bytes = std::fs::read(&img_path)
+        .map_err(|e| Error::ParseIdx { reason: format!("{}: {e}", img_path.display()) })?;
+    let lbl_bytes = std::fs::read(&lbl_path)
+        .map_err(|e| Error::ParseIdx { reason: format!("{}: {e}", lbl_path.display()) })?;
+    let (pixels, count, rows, cols) = parse_idx_images(&img_bytes)?;
+    let labels = parse_idx_labels(&lbl_bytes)?;
+    if labels.len() != count {
+        return Err(Error::ParseIdx {
+            reason: format!("{count} images but {} labels", labels.len()),
+        });
+    }
+    Ok(Some(Dataset::new(pixels, &[1, rows, cols], labels)?))
+}
+
+/// Loads the MNIST train/test pair from `dir` if the standard four files
+/// are present (`train-images-idx3-ubyte`, `train-labels-idx1-ubyte`,
+/// `t10k-images-idx3-ubyte`, `t10k-labels-idx1-ubyte`); returns `Ok(None)`
+/// when absent.
+///
+/// # Errors
+///
+/// Returns [`Error::ParseIdx`] only for present-but-corrupt files.
+pub fn load_mnist(dir: &Path) -> Result<Option<(Dataset, Dataset)>, Error> {
+    let train = read_pair(dir, "train-images-idx3-ubyte", "train-labels-idx1-ubyte")?;
+    let test = read_pair(dir, "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")?;
+    Ok(match (train, test) {
+        (Some(tr), Some(te)) => Some((tr, te)),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_idx3(count: usize, rows: usize, cols: usize) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        v.extend_from_slice(&(count as u32).to_be_bytes());
+        v.extend_from_slice(&(rows as u32).to_be_bytes());
+        v.extend_from_slice(&(cols as u32).to_be_bytes());
+        v.extend((0..count * rows * cols).map(|i| (i % 256) as u8));
+        v
+    }
+
+    fn make_idx1(labels: &[u8]) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        v.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        v.extend_from_slice(labels);
+        v
+    }
+
+    #[test]
+    fn parses_images() {
+        let bytes = make_idx3(2, 3, 3);
+        let (pixels, count, rows, cols) = parse_idx_images(&bytes).unwrap();
+        assert_eq!((count, rows, cols), (2, 3, 3));
+        assert_eq!(pixels.len(), 18);
+        assert_eq!(pixels[0], 0.0);
+        assert!((pixels[17] - 17.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_labels() {
+        let bytes = make_idx1(&[3, 1, 4]);
+        assert_eq!(parse_idx_labels(&bytes).unwrap(), vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = make_idx3(1, 2, 2);
+        bytes[3] = 0x01; // corrupt the magic
+        assert!(parse_idx_images(&bytes).is_err());
+        let mut lbl = make_idx1(&[1]);
+        lbl[3] = 0x03;
+        assert!(parse_idx_labels(&lbl).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut bytes = make_idx3(2, 3, 3);
+        bytes.truncate(bytes.len() - 1);
+        assert!(parse_idx_images(&bytes).is_err());
+        assert!(parse_idx_images(&bytes[..10]).is_err());
+        let lbl = make_idx1(&[1, 2, 3]);
+        assert!(parse_idx_labels(&lbl[..9]).is_err());
+    }
+
+    #[test]
+    fn load_mnist_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("scnn-idx-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train-images-idx3-ubyte"), make_idx3(3, 4, 4)).unwrap();
+        std::fs::write(dir.join("train-labels-idx1-ubyte"), make_idx1(&[0, 1, 2])).unwrap();
+        std::fs::write(dir.join("t10k-images-idx3-ubyte"), make_idx3(2, 4, 4)).unwrap();
+        std::fs::write(dir.join("t10k-labels-idx1-ubyte"), make_idx1(&[3, 4])).unwrap();
+        let (train, test) = load_mnist(&dir).unwrap().expect("files present");
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.item_shape(), &[1, 4, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_mnist_absent_is_none() {
+        assert!(load_mnist(Path::new("/definitely/not/here")).unwrap().is_none());
+    }
+
+    #[test]
+    fn count_mismatch_is_error() {
+        let dir = std::env::temp_dir().join(format!("scnn-idx-mismatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train-images-idx3-ubyte"), make_idx3(3, 4, 4)).unwrap();
+        std::fs::write(dir.join("train-labels-idx1-ubyte"), make_idx1(&[0, 1])).unwrap();
+        std::fs::write(dir.join("t10k-images-idx3-ubyte"), make_idx3(1, 4, 4)).unwrap();
+        std::fs::write(dir.join("t10k-labels-idx1-ubyte"), make_idx1(&[3])).unwrap();
+        assert!(load_mnist(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

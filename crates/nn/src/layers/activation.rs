@@ -1,0 +1,222 @@
+use super::Layer;
+use crate::{Error, Tensor};
+use std::any::Any;
+
+/// The rectified linear unit, `max(0, x)`.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::layers::{Layer, Relu};
+/// use scnn_nn::Tensor;
+///
+/// # fn main() -> Result<(), scnn_nn::Error> {
+/// let mut relu = Relu::new();
+/// let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2])?;
+/// assert_eq!(relu.forward(&x, false)?.data(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Relu {
+    mask_cache: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, Error> {
+        if training {
+            self.mask_cache = input.data().iter().map(|&v| v > 0.0).collect();
+        }
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, Error> {
+        if grad_output.len() != self.mask_cache.len() {
+            return Err(Error::shape(
+                format!("{} cached activations", self.mask_cache.len()),
+                grad_output.shape(),
+            ));
+        }
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&self.mask_cache)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// The paper's ternary sign activation with soft threshold τ (§IV-B,
+/// §V-B): outputs `−1`, `0`, or `+1`.
+///
+/// `sign` has zero gradient almost everywhere, so training uses the
+/// straight-through estimator: gradients pass unchanged where `|x| ≤ 1`
+/// (hard-tanh clipping), which is how the base LeNet model learns a useful
+/// first layer despite the hard activation.
+///
+/// Soft thresholding (Kim et al., DAC 2016) maps `|x| ≤ τ` to `0`,
+/// suppressing the near-zero dot products where SC is least exact.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::layers::{Layer, Sign};
+/// use scnn_nn::Tensor;
+///
+/// # fn main() -> Result<(), scnn_nn::Error> {
+/// let mut sign = Sign::new(0.1);
+/// let x = Tensor::from_vec(vec![-0.5, 0.05, 0.5], &[1, 3])?;
+/// assert_eq!(sign.forward(&x, false)?.data(), &[-1.0, 0.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sign {
+    threshold: f32,
+    input_cache: Option<Tensor>,
+}
+
+impl Sign {
+    /// Creates a sign activation with soft threshold `threshold ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn new(threshold: f32) -> Self {
+        assert!(threshold.is_finite() && threshold >= 0.0, "invalid threshold {threshold}");
+        Self { threshold, input_cache: None }
+    }
+
+    /// The soft threshold τ.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+impl Layer for Sign {
+    fn name(&self) -> &'static str {
+        "sign"
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, Error> {
+        if training {
+            self.input_cache = Some(input.clone());
+        }
+        let t = self.threshold;
+        Ok(input.map(|v| {
+            if v > t {
+                1.0
+            } else if v < -t {
+                -1.0
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, Error> {
+        let input = self.input_cache.as_ref().ok_or_else(|| {
+            Error::shape("forward(training=true) before backward", grad_output.shape())
+        })?;
+        if grad_output.shape() != input.shape() {
+            return Err(Error::shape("gradient matching cached input", grad_output.shape()));
+        }
+        // Straight-through estimator with hard-tanh clipping.
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(input.data())
+            .map(|(&g, &x)| if x.abs() <= 1.0 { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]).unwrap();
+        assert_eq!(relu.forward(&x, false).unwrap().data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap();
+        let _ = relu.forward(&x, true).unwrap();
+        let dx = relu.backward(&Tensor::filled(&[2], 1.0)).unwrap();
+        assert_eq!(dx.data(), &[0.0, 1.0]);
+        let mut fresh = Relu::new();
+        assert!(fresh.backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn sign_ternary_output() {
+        let mut sign = Sign::new(0.2);
+        let x = Tensor::from_vec(vec![-0.5, -0.2, 0.0, 0.2, 0.5], &[5]).unwrap();
+        let y = sign.forward(&x, false).unwrap();
+        assert_eq!(y.data(), &[-1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sign_zero_threshold_is_pure_sign() {
+        let mut sign = Sign::new(0.0);
+        let x = Tensor::from_vec(vec![-0.001, 0.0, 0.001], &[3]).unwrap();
+        assert_eq!(sign.forward(&x, false).unwrap().data(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sign_straight_through_gradient() {
+        let mut sign = Sign::new(0.1);
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.5, 2.0], &[4]).unwrap();
+        let _ = sign.forward(&x, true).unwrap();
+        let dx = sign.backward(&Tensor::filled(&[4], 1.0)).unwrap();
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid threshold")]
+    fn sign_rejects_negative_threshold() {
+        let _ = Sign::new(-0.1);
+    }
+}

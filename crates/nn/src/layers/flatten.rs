@@ -1,0 +1,90 @@
+use super::Layer;
+use crate::{Error, Tensor};
+use std::any::Any;
+
+/// Flattens `[batch, …]` tensors to `[batch, features]` (between the
+/// convolutional and dense stages of LeNet-5).
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::layers::{Flatten, Layer};
+/// use scnn_nn::Tensor;
+///
+/// # fn main() -> Result<(), scnn_nn::Error> {
+/// let mut f = Flatten::new();
+/// let x = Tensor::zeros(&[2, 64, 5, 5]);
+/// assert_eq!(f.forward(&x, false)?.shape(), &[2, 1600]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Flatten {
+    input_shape_cache: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, Error> {
+        if input.shape().is_empty() {
+            return Err(Error::shape("[batch, …]", input.shape()));
+        }
+        let batch = input.shape()[0];
+        let features = input.len() / batch.max(1);
+        if training {
+            self.input_shape_cache = Some(input.shape().to_vec());
+        }
+        input.clone().reshape(&[batch, features])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, Error> {
+        let shape = self.input_shape_cache.clone().ok_or_else(|| {
+            Error::shape("forward(training=true) before backward", grad_output.shape())
+        })?;
+        grad_output.clone().reshape(&shape)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let dx = f.backward(&y).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dx.data(), x.data());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[2, 12])).is_err());
+    }
+}

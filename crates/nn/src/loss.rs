@@ -1,0 +1,102 @@
+use crate::{Error, Tensor};
+
+/// Softmax + cross-entropy loss over a batch of logits.
+///
+/// Returns `(mean loss, dL/dlogits)` where the gradient is already divided
+/// by the batch size — ready to feed straight into
+/// [`Network::backward`](crate::Network).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] unless `logits` is `[batch, classes]`
+/// with one label per batch row and every label below `classes`.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::{softmax_cross_entropy, Tensor};
+///
+/// # fn main() -> Result<(), scnn_nn::Error> {
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(loss < 1e-3); // confident and correct
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[u8]) -> Result<(f32, Tensor), Error> {
+    let &[batch, classes] = logits.shape() else {
+        return Err(Error::shape("[batch, classes]", logits.shape()));
+    };
+    if labels.len() != batch {
+        return Err(Error::shape(format!("{batch} labels"), &[labels.len()]));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| usize::from(l) >= classes) {
+        return Err(Error::shape(format!("labels below {classes}"), &[usize::from(bad)]));
+    }
+    let mut grad = Tensor::zeros(&[batch, classes]);
+    let mut total_loss = 0.0f64;
+    for (bi, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[bi * classes..(bi + 1) * classes];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exp.iter().sum();
+        let g = &mut grad.data_mut()[bi * classes..(bi + 1) * classes];
+        for (j, &e) in exp.iter().enumerate() {
+            let p = e / sum;
+            g[j] = p / batch as f32;
+        }
+        let p_true = exp[usize::from(label)] / sum;
+        g[usize::from(label)] -= 1.0 / batch as f32;
+        total_loss += f64::from(-(p_true.max(1e-12)).ln());
+    }
+    Ok((total_loss as f32 / batch as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for row in grad.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6, "row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.9], &[1, 3]).unwrap();
+        let labels = [1u8];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (loss_m, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let num = (loss_p - loss_m) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "grad[{i}] num {num} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+}

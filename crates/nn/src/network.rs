@@ -1,0 +1,363 @@
+use crate::data::Dataset;
+use crate::layers::Layer;
+use crate::optim::Optimizer;
+use crate::{softmax_cross_entropy, Error, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Accuracy/loss summary from [`Network::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Fraction of correctly classified items in `[0, 1]`.
+    pub accuracy: f64,
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Correctly classified items.
+    pub correct: usize,
+    /// Total items evaluated.
+    pub total: usize,
+}
+
+impl Evaluation {
+    /// `1 − accuracy` — the metric the paper's Table 3 reports.
+    pub fn misclassification_rate(&self) -> f64 {
+        1.0 - self.accuracy
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} correct ({:.2}% misclassified, loss {:.4})",
+            self.correct,
+            self.total,
+            self.misclassification_rate() * 100.0,
+            self.loss
+        )
+    }
+}
+
+/// A sequential feed-forward network: an ordered stack of [`Layer`]s
+/// trained with backpropagation and softmax cross-entropy.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::{layers, Network, Tensor};
+///
+/// # fn main() -> Result<(), scnn_nn::Error> {
+/// let mut net = Network::new();
+/// net.push(layers::Dense::new(4, 8, 1));
+/// net.push(layers::Relu::new());
+/// net.push(layers::Dense::new(8, 2, 2));
+/// let logits = net.forward(&Tensor::zeros(&[3, 4]), false)?;
+/// assert_eq!(logits.shape(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer (for composing networks programmatically).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow of layer `index`, if present.
+    pub fn layer(&self, index: usize) -> Option<&dyn Layer> {
+        self.layers.get(index).map(AsRef::as_ref)
+    }
+
+    /// Mutable borrow of layer `index`, if present.
+    pub fn layer_mut(&mut self, index: usize) -> Option<&mut (dyn Layer + 'static)> {
+        self.layers.get_mut(index).map(AsMut::as_mut)
+    }
+
+    /// Runs the input through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer shape error.
+    pub fn forward(&mut self, input: &Tensor, training: bool) -> Result<Tensor, Error> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, training)?;
+        }
+        Ok(x)
+    }
+
+    /// Backpropagates a loss gradient, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors (e.g. backward before forward).
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, Error> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Visits every `(parameter, gradient)` pair across all layers, in the
+    /// stable visit order used by optimizers and serialization.
+    pub fn visit_all_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |_, g| g.fill_zero());
+        }
+    }
+
+    /// Applies one optimizer step over all parameters (keys follow visit
+    /// order, which is stable for a fixed architecture).
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        opt.begin_step();
+        let mut key = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, g| {
+                opt.update(key, p.data_mut(), g.data());
+                key += 1;
+            });
+        }
+    }
+
+    /// One forward/backward/update on a single batch; returns the loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers or the loss.
+    pub fn train_batch(
+        &mut self,
+        input: &Tensor,
+        labels: &[u8],
+        opt: &mut dyn Optimizer,
+    ) -> Result<f32, Error> {
+        self.zero_grads();
+        let logits = self.forward(input, true)?;
+        let (loss, grad) = softmax_cross_entropy(&logits, labels)?;
+        self.backward(&grad)?;
+        self.step(opt);
+        Ok(loss)
+    }
+
+    /// One shuffled pass over `dataset`; returns the mean batch loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers or the loss.
+    pub fn train_epoch(
+        &mut self,
+        dataset: &Dataset,
+        batch_size: usize,
+        opt: &mut dyn Optimizer,
+        shuffle_seed: u64,
+    ) -> Result<f32, Error> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut indices: Vec<usize> = (0..dataset.len()).collect();
+        indices.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(batch_size) {
+            let (x, labels) = dataset.batch(chunk)?;
+            total += f64::from(self.train_batch(&x, &labels, opt)?);
+            batches += 1;
+        }
+        Ok((total / batches.max(1) as f64) as f32)
+    }
+
+    /// Argmax class predictions for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>, Error> {
+        let logits = self.forward(input, false)?;
+        let &[batch, classes] = logits.shape() else {
+            return Err(Error::shape("[batch, classes] logits", logits.shape()));
+        };
+        Ok((0..batch)
+            .map(|bi| {
+                let row = &logits.data()[bi * classes..(bi + 1) * classes];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("at least one class")
+            })
+            .collect())
+    }
+
+    /// Classification accuracy and loss over a whole dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn evaluate(&mut self, dataset: &Dataset, batch_size: usize) -> Result<Evaluation, Error> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        let mut correct = 0usize;
+        let mut loss_total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in indices.chunks(batch_size) {
+            let (x, labels) = dataset.batch(chunk)?;
+            let logits = self.forward(&x, false)?;
+            let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
+            loss_total += f64::from(loss);
+            batches += 1;
+            let &[batch, classes] = logits.shape() else {
+                return Err(Error::shape("[batch, classes] logits", logits.shape()));
+            };
+            for (bi, &label) in labels.iter().enumerate().take(batch) {
+                let row = &logits.data()[bi * classes..(bi + 1) * classes];
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("at least one class");
+                if pred == usize::from(label) {
+                    correct += 1;
+                }
+            }
+        }
+        Ok(Evaluation {
+            accuracy: correct as f64 / dataset.len() as f64,
+            loss: (loss_total / batches.max(1) as f64) as f32,
+            correct,
+            total: dataset.len(),
+        })
+    }
+
+    /// Decomposes the network into its boxed layers (for recomposing heads
+    /// and tails, as the retraining pipeline does).
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
+    /// One-line architecture summary, e.g. `"conv2d → sign → maxpool2"`.
+    pub fn summary(&self) -> String {
+        self.layers.iter().map(|l| l.name()).collect::<Vec<_>>().join(" → ")
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, _| n += p.len());
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::optim::Sgd;
+
+    fn xor_dataset() -> Dataset {
+        // The classic non-linearly-separable sanity problem.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..64 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                data.extend_from_slice(&[a, b]);
+                labels.push(u8::from((a != b) as u8 == 1));
+            }
+        }
+        Dataset::new(data, &[2], labels).unwrap()
+    }
+
+    #[test]
+    fn learns_xor() {
+        let ds = xor_dataset();
+        let mut net = Network::new();
+        net.push(Dense::new(2, 16, 1));
+        net.push(Relu::new());
+        net.push(Dense::new(16, 2, 2));
+        let mut opt = Sgd::new(0.5);
+        for epoch in 0..60 {
+            net.train_epoch(&ds, 16, &mut opt, epoch).unwrap();
+        }
+        let eval = net.evaluate(&ds, 32).unwrap();
+        assert!(eval.accuracy > 0.99, "accuracy {}", eval.accuracy);
+        assert_eq!(eval.correct, eval.total);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let ds = xor_dataset();
+        let mut net = Network::new();
+        net.push(Dense::new(2, 8, 3));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, 4));
+        let mut opt = Sgd::new(0.3);
+        let first = net.train_epoch(&ds, 16, &mut opt, 0).unwrap();
+        let mut last = first;
+        for e in 1..30 {
+            last = net.train_epoch(&ds, 16, &mut opt, e).unwrap();
+        }
+        assert!(last < first * 0.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn predict_matches_evaluate() {
+        let ds = xor_dataset();
+        let mut net = Network::new();
+        net.push(Dense::new(2, 2, 9));
+        let (x, labels) = ds.batch(&[0, 1, 2, 3]).unwrap();
+        let preds = net.predict(&x).unwrap();
+        assert_eq!(preds.len(), labels.len());
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn misclassification_rate_complements_accuracy() {
+        let e = Evaluation { accuracy: 0.97, loss: 0.1, correct: 97, total: 100 };
+        assert!((e.misclassification_rate() - 0.03).abs() < 1e-12);
+        assert!(e.to_string().contains("97/100"));
+    }
+
+    #[test]
+    fn layer_access() {
+        let mut net = Network::new();
+        net.push(Dense::new(2, 2, 0));
+        assert_eq!(net.len(), 1);
+        assert!(!net.is_empty());
+        assert!(net.layer(0).is_some());
+        assert!(net.layer_mut(1).is_none());
+        assert_eq!(net.layer(0).unwrap().name(), "dense");
+    }
+}

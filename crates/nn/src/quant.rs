@@ -1,0 +1,205 @@
+//! Weight scaling, uniform quantization and soft thresholding — the
+//! conditioning steps the paper applies before mapping the first layer to
+//! stochastic hardware (§V-B, following Kim et al., DAC 2016).
+
+/// Scales each kernel (a contiguous `kernel_len` chunk of `weights`) so its
+/// largest magnitude becomes 1, returning the per-kernel scale factors.
+///
+/// "Weight scaling normalizes the values of each convolution kernel to use
+/// the full dynamic range [−1, 1]" — SC encodes values in that interval, so
+/// using all of it maximizes the signal relative to stream noise. The dot
+/// product computed with scaled weights is `scale` times the true one; the
+/// sign activation is scale-invariant, so the factors only matter if a
+/// later stage needs magnitudes (they are returned for that purpose).
+///
+/// All-zero kernels get scale 1 and are left untouched.
+///
+/// # Panics
+///
+/// Panics if `kernel_len` is zero or does not divide `weights.len()`.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::quant::scale_kernels;
+///
+/// let mut w = vec![0.5, -0.25, 0.1, 0.2];
+/// let scales = scale_kernels(&mut w, 2);
+/// assert_eq!(w, vec![1.0, -0.5, 0.5, 1.0]);
+/// assert_eq!(scales, vec![0.5, 0.2]);
+/// ```
+pub fn scale_kernels(weights: &mut [f32], kernel_len: usize) -> Vec<f32> {
+    assert!(kernel_len > 0, "kernel_len must be positive");
+    assert_eq!(weights.len() % kernel_len, 0, "weights must divide into kernels");
+    weights
+        .chunks_mut(kernel_len)
+        .map(|kernel| {
+            let max = kernel.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            if max > 0.0 {
+                for v in kernel.iter_mut() {
+                    *v /= max;
+                }
+                max
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Quantizes a bipolar value `v ∈ [−1, 1]` to the `bits`-bit magnitude grid
+/// used by the unipolar pos/neg weight split: the magnitude becomes
+/// `round(|v|·2^bits) / 2^bits` (clamped to ≤ 1), keeping the sign.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::quant::quantize_bipolar;
+///
+/// assert_eq!(quantize_bipolar(0.30, 2), 0.25); // grid {0, ¼, ½, ¾, 1}
+/// assert_eq!(quantize_bipolar(-0.9, 2), -1.0);
+/// ```
+pub fn quantize_bipolar(v: f32, bits: u32) -> f32 {
+    let n = (1u64 << bits) as f32;
+    let clamped = v.clamp(-1.0, 1.0);
+    (clamped.abs() * n).round().min(n) / n * clamped.signum()
+}
+
+/// The unipolar magnitude level (`0..=2^bits`) a bipolar weight maps to in
+/// the pos/neg stream split, together with which stream it feeds.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::quant::weight_level;
+///
+/// let (level, negative) = weight_level(-0.5, 4);
+/// assert_eq!(level, 8); // |−0.5| on the 16-level grid
+/// assert!(negative);
+/// ```
+pub fn weight_level(v: f32, bits: u32) -> (u64, bool) {
+    let n = (1u64 << bits) as f32;
+    let clamped = v.clamp(-1.0, 1.0);
+    let level = (clamped.abs() * n).round().min(n) as u64;
+    (level, clamped < 0.0)
+}
+
+/// Quantizes a unipolar activation/pixel `v ∈ [0, 1]` to a `bits`-bit input
+/// level `0..2^bits` (the sensor-side quantization).
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::quant::pixel_level;
+///
+/// assert_eq!(pixel_level(0.5, 8), 128);
+/// assert_eq!(pixel_level(1.0, 8), 255); // saturates at 2^b − 1
+/// ```
+pub fn pixel_level(v: f32, bits: u32) -> u64 {
+    let n = (1u64 << bits) as f32;
+    let max = (1u64 << bits) - 1;
+    ((v.clamp(0.0, 1.0) * n).round() as u64).min(max)
+}
+
+/// Soft thresholding: forces `v` to zero when `|v| ≤ tau` (suppressing the
+/// near-zero outputs where SC is least exact), otherwise passes it through.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::quant::soft_threshold;
+///
+/// assert_eq!(soft_threshold(0.05, 0.1), 0.0);
+/// assert_eq!(soft_threshold(-0.5, 0.1), -0.5);
+/// ```
+pub fn soft_threshold(v: f32, tau: f32) -> f32 {
+    if v.abs() <= tau {
+        0.0
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_kernels_normalizes_each_kernel() {
+        let mut w = vec![2.0, -4.0, 0.0, 0.0, 0.0, 0.0, -0.1, 0.05, 0.025, 0.0];
+        let scales = scale_kernels(&mut w, 5);
+        assert_eq!(scales, vec![4.0, 0.1]);
+        assert_eq!(&w[..5], &[0.5, -1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&w[5..], &[0.0, -1.0, 0.5, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn zero_kernel_untouched() {
+        let mut w = vec![0.0; 4];
+        let scales = scale_kernels(&mut w, 4);
+        assert_eq!(scales, vec![1.0]);
+        assert_eq!(w, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into kernels")]
+    fn scale_kernels_validates() {
+        let mut w = vec![0.0; 5];
+        scale_kernels(&mut w, 2);
+    }
+
+    #[test]
+    fn quantize_bipolar_error_bounded() {
+        for bits in [2u32, 4, 8] {
+            let step = 1.0 / (1u64 << bits) as f32;
+            for i in -100..=100 {
+                let v = i as f32 / 100.0;
+                let q = quantize_bipolar(v, bits);
+                assert!((q - v).abs() <= step / 2.0 + 1e-6, "bits={bits} v={v} q={q}");
+                assert!((-1.0..=1.0).contains(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_sign_and_extremes() {
+        assert_eq!(quantize_bipolar(1.0, 4), 1.0);
+        assert_eq!(quantize_bipolar(-1.0, 4), -1.0);
+        assert_eq!(quantize_bipolar(0.0, 4), 0.0);
+        assert!(quantize_bipolar(-0.3, 4) < 0.0);
+    }
+
+    #[test]
+    fn weight_level_matches_quantize() {
+        for bits in [2u32, 4, 8] {
+            let n = (1u64 << bits) as f32;
+            for i in -50..=50 {
+                let v = i as f32 / 50.0;
+                let (level, neg) = weight_level(v, bits);
+                let reconstructed = level as f32 / n * if neg { -1.0 } else { 1.0 };
+                assert!(
+                    (reconstructed - quantize_bipolar(v, bits)).abs() < 1e-6
+                        || (level == 0 && quantize_bipolar(v, bits) == 0.0),
+                    "bits={bits} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_level_saturation() {
+        assert_eq!(pixel_level(0.0, 4), 0);
+        assert_eq!(pixel_level(1.0, 4), 15);
+        assert_eq!(pixel_level(0.5, 4), 8);
+        assert_eq!(pixel_level(-1.0, 4), 0);
+        assert_eq!(pixel_level(2.0, 4), 15);
+    }
+
+    #[test]
+    fn soft_threshold_behaviour() {
+        assert_eq!(soft_threshold(0.1, 0.1), 0.0); // inclusive
+        assert_eq!(soft_threshold(0.11, 0.1), 0.11);
+        assert_eq!(soft_threshold(-0.05, 0.1), 0.0);
+        assert_eq!(soft_threshold(0.5, 0.0), 0.5);
+    }
+}

@@ -1,0 +1,272 @@
+use crate::Error;
+use std::fmt;
+
+/// A dense, row-major `f32` n-dimensional array.
+///
+/// Deliberately small: just the kernels the `scnn` layers need, written so
+/// the hot loops (`matmul`) autovectorize. Not a general tensor library.
+///
+/// # Example
+///
+/// ```
+/// use scnn_nn::Tensor;
+///
+/// # fn main() -> Result<(), scnn_nn::Error> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.data(), a.data());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// An all-zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+    }
+
+    /// The `n×n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps a flat buffer with a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the element count differs from
+    /// the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, Error> {
+        if data.len() != shape.iter().product::<usize>() {
+            return Err(Error::shape(format!("{} elements", data.len()), shape));
+        }
+        Ok(Self { data, shape: shape.to_vec() })
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat data, row-major.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a reshaped view (same data, new shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Result<Self, Error> {
+        if self.data.len() != shape.iter().product::<usize>() {
+            return Err(Error::shape(format!("{} elements", self.data.len()), shape));
+        }
+        self.shape = shape.to_vec();
+        Ok(self)
+    }
+
+    /// Matrix product of two 2-D tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] unless both are 2-D with matching
+    /// inner dimension.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, Error> {
+        let (&[m, k], &[k2, n]) = (&self.shape[..], &other.shape[..]) else {
+            return Err(Error::shape("two 2-d tensors", &self.shape));
+        };
+        if k != k2 {
+            return Err(Error::shape(format!("inner dim {k}"), &other.shape));
+        }
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j order: the inner loop runs over contiguous rows of `other`
+        // and `out`, which LLVM autovectorizes.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a != 0.0 {
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2-d tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { data: out, shape: vec![n, m] }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+    }
+
+    /// `self += alpha · other`, elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sets every element to zero (grad reset between steps).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Largest absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?}", self.data)?;
+        } else {
+            write!(f, ", data=[{}, {}, …; {}]", self.data[0], self.data[1], self.data.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert_eq!(z.shape(), &[2, 3]);
+        let f = Tensor::filled(&[4], 2.5);
+        assert!(f.data().iter().all(|&v| v == 2.5));
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_validates() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let c = Tensor::zeros(&[6]);
+        assert!(c.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[3, 3]).unwrap();
+        assert_eq!(a.matmul(&Tensor::eye(3)).unwrap().data(), a.data());
+        assert_eq!(Tensor::eye(3).matmul(&a).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let b = a.clone().reshape(&[3, 2]).unwrap();
+        assert_eq!(b.data(), a.data());
+        assert!(a.clone().reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_and_add_scaled() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let b = a.map(f32::abs);
+        assert_eq!(b.data(), &[1.0, 2.0]);
+        let mut c = Tensor::zeros(&[2]);
+        c.add_scaled(&a, 0.5);
+        assert_eq!(c.data(), &[0.5, -1.0]);
+        assert_eq!(c.max_abs(), 1.0);
+        c.fill_zero();
+        assert_eq!(c.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn debug_short_and_long() {
+        let small = Tensor::zeros(&[2]);
+        assert!(format!("{small:?}").contains("data="));
+        let big = Tensor::zeros(&[100]);
+        assert!(format!("{big:?}").contains("…"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the training framework.
+
+use proptest::prelude::*;
+use scnn_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Padding, Relu, Sign};
+use scnn_nn::quant::{pixel_level, quantize_bipolar, scale_kernels, soft_threshold, weight_level};
+use scnn_nn::{softmax_cross_entropy, Tensor};
+
+proptest! {
+    /// Conv2d is linear: conv(a·x) == a·conv(x) (bias removed).
+    #[test]
+    fn conv_is_linear(seed in 0u64..1000, alpha in -2.0f32..2.0) {
+        let mut conv = Conv2d::new(1, 4, 3, Padding::Same, seed).unwrap();
+        conv.bias_mut().fill_zero();
+        let x = Tensor::from_vec((0..36).map(|v| (v as f32 - 18.0) / 18.0).collect(), &[1, 1, 6, 6]).unwrap();
+        let y1 = conv.forward(&x, false).unwrap();
+        let xs = x.map(|v| v * alpha);
+        let y2 = conv.forward(&xs, false).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-3, "{a} * {alpha} != {b}");
+        }
+    }
+
+    /// MaxPool is idempotent on constant planes and never invents values.
+    #[test]
+    fn maxpool_bounded_by_input(vals in proptest::collection::vec(-10.0f32..10.0, 16..=16)) {
+        let x = Tensor::from_vec(vals.clone(), &[1, 1, 4, 4]).unwrap();
+        let mut pool = MaxPool2d::new();
+        let y = pool.forward(&x, false).unwrap();
+        let max = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+        for &v in y.data() {
+            prop_assert!(v <= max && v >= min);
+            prop_assert!(vals.contains(&v));
+        }
+    }
+
+    /// ReLU output is non-negative and fixpoint on its own output.
+    #[test]
+    fn relu_idempotent(vals in proptest::collection::vec(-5.0f32..5.0, 1..64)) {
+        let len = vals.len();
+        let x = Tensor::from_vec(vals, &[len]).unwrap();
+        let mut relu = Relu::new();
+        let y = relu.forward(&x, false).unwrap();
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        let y2 = relu.forward(&y, false).unwrap();
+        prop_assert_eq!(y.data(), y2.data());
+    }
+
+    /// Sign outputs exactly {-1, 0, 1} and is odd: sign(-x) == -sign(x).
+    #[test]
+    fn sign_is_odd_and_ternary(vals in proptest::collection::vec(-2.0f32..2.0, 1..64), tau in 0.0f32..0.5) {
+        let len = vals.len();
+        let x = Tensor::from_vec(vals, &[len]).unwrap();
+        let mut sign = Sign::new(tau);
+        let y = sign.forward(&x, false).unwrap();
+        prop_assert!(y.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
+        let neg = sign.forward(&x.map(|v| -v), false).unwrap();
+        for (a, b) in y.data().iter().zip(neg.data()) {
+            prop_assert_eq!(*a, -*b);
+        }
+    }
+
+    /// Dense forward then Flatten round-trips shapes for any batch size.
+    #[test]
+    fn dense_shapes(batch in 1usize..8, seed in 0u64..100) {
+        let mut layer = Dense::new(6, 3, seed);
+        let x = Tensor::zeros(&[batch, 6]);
+        let y = layer.forward(&x, false).unwrap();
+        prop_assert_eq!(y.shape(), &[batch, 3][..]);
+        let mut f = Flatten::new();
+        let x4 = Tensor::zeros(&[batch, 2, 3, 1]);
+        let flat = f.forward(&x4, false).unwrap();
+        prop_assert_eq!(flat.shape(), &[batch, 6][..]);
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to ~0.
+    #[test]
+    fn loss_invariants(
+        logits in proptest::collection::vec(-5.0f32..5.0, 6..=6),
+        label_a in 0u8..3,
+        label_b in 0u8..3,
+    ) {
+        let t = Tensor::from_vec(logits, &[2, 3]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&t, &[label_a, label_b]).unwrap();
+        prop_assert!(loss >= 0.0);
+        for row in grad.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// Quantization error is within half a grid step; levels reconstruct.
+    #[test]
+    fn quantization_bounds(v in -1.0f32..1.0, bits in 1u32..=10) {
+        let q = quantize_bipolar(v, bits);
+        let step = 1.0 / (1u64 << bits) as f32;
+        prop_assert!((q - v).abs() <= step / 2.0 + 1e-6);
+        let (level, neg) = weight_level(v, bits);
+        prop_assert!(level <= 1 << bits);
+        let rec = level as f32 / (1u64 << bits) as f32 * if neg { -1.0 } else { 1.0 };
+        prop_assert!((rec.abs() - q.abs()).abs() < 1e-6);
+    }
+
+    /// Pixel levels are monotone in the pixel value.
+    #[test]
+    fn pixel_level_monotone(a in 0.0f32..1.0, b in 0.0f32..1.0, bits in 1u32..=10) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(pixel_level(lo, bits) <= pixel_level(hi, bits));
+    }
+
+    /// Kernel scaling preserves signs and ratios, and bounds magnitudes by 1.
+    #[test]
+    fn kernel_scaling_invariants(mut w in proptest::collection::vec(-3.0f32..3.0, 8..=8)) {
+        let orig = w.clone();
+        let scales = scale_kernels(&mut w, 4);
+        prop_assert_eq!(scales.len(), 2);
+        for (chunk, (o_chunk, &s)) in
+            w.chunks(4).zip(orig.chunks(4).zip(&scales))
+        {
+            for (&v, &o) in chunk.iter().zip(o_chunk) {
+                prop_assert!(v.abs() <= 1.0 + 1e-6);
+                prop_assert!((v * s - o).abs() < 1e-4, "descale mismatch");
+            }
+        }
+    }
+
+    /// Soft threshold only ever zeroes values, never changes them otherwise.
+    #[test]
+    fn soft_threshold_selective(v in -2.0f32..2.0, tau in 0.0f32..1.0) {
+        let out = soft_threshold(v, tau);
+        prop_assert!(out == 0.0 || out == v);
+        prop_assert_eq!(out == 0.0, v.abs() <= tau);
+    }
+}

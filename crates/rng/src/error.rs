@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced when constructing number sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested bit width is outside the supported range for the source.
+    UnsupportedWidth {
+        /// Requested width in bits.
+        width: u32,
+        /// Smallest supported width.
+        min: u32,
+        /// Largest supported width.
+        max: u32,
+    },
+    /// An LFSR was seeded with `0` (the lock-up state) or a value that does
+    /// not fit in its width.
+    InvalidSeed {
+        /// The offending seed.
+        seed: u64,
+        /// The LFSR width.
+        width: u32,
+    },
+    /// A Halton sequence was given a base smaller than 2.
+    InvalidBase {
+        /// The offending base.
+        base: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnsupportedWidth { width, min, max } => {
+                write!(f, "unsupported width {width} bits (supported: {min}..={max})")
+            }
+            Error::InvalidSeed { seed, width } => {
+                write!(f, "invalid seed {seed:#x} for {width}-bit lfsr (must be non-zero and fit the width)")
+            }
+            Error::InvalidBase { base } => write!(f, "halton base {base} must be at least 2"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Error::UnsupportedWidth { width: 99, min: 3, max: 32 }.to_string().contains("99"));
+        assert!(Error::InvalidSeed { seed: 0, width: 8 }.to_string().contains("lfsr"));
+        assert!(Error::InvalidBase { base: 1 }.to_string().contains("base 1"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Stochastic number generation for the `scnn` workspace.
+//!
+//! A stochastic number generator (SNG) converts a binary input level `B`
+//! into a bit-stream whose `1`-density is `B / 2^k` by comparing `B` against
+//! a fresh `k`-bit number each clock cycle (paper, Fig. 1c). The *quality* of
+//! the resulting arithmetic depends entirely on where those numbers come
+//! from; the paper's Table 1 compares four schemes, all implemented here:
+//!
+//! 1. one LFSR shared by both inputs (second input sees a rotated view) —
+//!    [`Lfsr`] + [`RotatedView`],
+//! 2. two independent [`Lfsr`]s,
+//! 3. low-discrepancy sequences — [`VanDerCorput`] / [`Halton`]
+//!    (Alaghi & Hayes, DATE 2014),
+//! 4. a [`Ramp`]-compare analog-to-stochastic converter for the sensor input
+//!    plus a low-discrepancy sequence for the weight (Fick et al., CICC 2014)
+//!    — the configuration this paper adopts.
+//!
+//! The [`NumberSource`] trait abstracts over all of them, [`Sng`] performs
+//! the comparator conversion, and [`MultiplierScheme`] / [`AdderScheme`]
+//! bundle the exact pairings used by Tables 1 and 2.
+//!
+//! # Example
+//!
+//! ```
+//! use scnn_bitstream::Precision;
+//! use scnn_rng::{NumberSource, Sng, VanDerCorput};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let precision = Precision::new(4)?; // N = 16
+//! let mut sng = Sng::new(VanDerCorput::new(4)?);
+//! // Low-discrepancy SNGs encode every representable level *exactly*
+//! // within one period.
+//! let stream = sng.generate_level(5, precision.stream_len());
+//! assert_eq!(stream.count_ones(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lfsr;
+mod lowdisc;
+mod ramp;
+mod random;
+mod scheme;
+mod sng;
+mod sobol;
+mod source;
+
+pub use error::Error;
+pub use lfsr::Lfsr;
+pub use lowdisc::{Halton, VanDerCorput};
+pub use ramp::Ramp;
+pub use random::TrueRandom;
+pub use scheme::{AdderScheme, AdderStreams, MultiplierScheme};
+pub use sng::Sng;
+pub use sobol::Sobol2;
+pub use source::{NumberSource, RotatedView};

@@ -1,0 +1,226 @@
+use crate::{Error, NumberSource};
+
+/// The base-2 van der Corput low-discrepancy sequence, realized in hardware
+/// as a counter with bit-reversed output wiring.
+///
+/// Over one period of `2^k` cycles it emits every value in `0..2^k` exactly
+/// once, in an order whose every prefix is near-uniformly spread. An SNG fed
+/// by this source therefore encodes every representable level *exactly* over
+/// a full stream, and partial streams converge as `O(log N / N)` instead of
+/// the `O(1/√N)` of random sources — the accuracy advantage of Table 1
+/// row 3 (Alaghi & Hayes, DATE 2014).
+///
+/// # Example
+///
+/// ```
+/// use scnn_rng::{NumberSource, VanDerCorput};
+///
+/// # fn main() -> Result<(), scnn_rng::Error> {
+/// let mut vdc = VanDerCorput::new(3)?;
+/// let first_eight: Vec<u64> = (0..8).map(|_| vdc.next_value()).collect();
+/// assert_eq!(first_eight, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VanDerCorput {
+    width: u32,
+    counter: u64,
+}
+
+impl VanDerCorput {
+    /// Creates a base-2 van der Corput source of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedWidth`] unless `1 <= width <= 32`.
+    pub fn new(width: u32) -> Result<Self, Error> {
+        if !(1..=32).contains(&width) {
+            return Err(Error::UnsupportedWidth { width, min: 1, max: 32 });
+        }
+        Ok(Self { width, counter: 0 })
+    }
+}
+
+impl NumberSource for VanDerCorput {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let v = (self.counter.reverse_bits()) >> (64 - self.width);
+        self.counter = (self.counter + 1) & ((1u64 << self.width) - 1);
+        v
+    }
+
+    fn reset(&mut self) {
+        self.counter = 0;
+    }
+
+    fn period(&self) -> Option<u64> {
+        Some(1u64 << self.width)
+    }
+}
+
+/// The Halton low-discrepancy sequence (radical inverse) in an arbitrary
+/// prime base, quantized to a `k`-bit integer grid.
+///
+/// Two Halton sequences in *coprime* bases (e.g. 2 and 3) are mutually
+/// low-discrepancy, which is how two independent low-discrepancy SNGs are
+/// built for the two inputs of a multiplier (Table 1 row 3).
+///
+/// # Example
+///
+/// ```
+/// use scnn_rng::{Halton, NumberSource};
+///
+/// # fn main() -> Result<(), scnn_rng::Error> {
+/// let mut h = Halton::new(3, 4)?; // base 3, 4-bit grid
+/// let v = h.next_value();
+/// assert!(v < 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Halton {
+    base: u64,
+    width: u32,
+    index: u64,
+}
+
+impl Halton {
+    /// Creates a Halton source in `base` on a `width`-bit grid.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBase`] if `base < 2`.
+    /// * [`Error::UnsupportedWidth`] unless `1 <= width <= 32`.
+    pub fn new(base: u64, width: u32) -> Result<Self, Error> {
+        if base < 2 {
+            return Err(Error::InvalidBase { base });
+        }
+        if !(1..=32).contains(&width) {
+            return Err(Error::UnsupportedWidth { width, min: 1, max: 32 });
+        }
+        Ok(Self { base, width, index: 0 })
+    }
+
+    /// The radical inverse of `n` in this base, as a fraction in `[0, 1)`.
+    fn radical_inverse(&self, mut n: u64) -> f64 {
+        let b = self.base as f64;
+        let mut inv = 0.0;
+        let mut denom = 1.0;
+        while n > 0 {
+            denom *= b;
+            inv += (n % self.base) as f64 / denom;
+            n /= self.base;
+        }
+        inv
+    }
+}
+
+impl NumberSource for Halton {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let frac = self.radical_inverse(self.index);
+        self.index = self.index.wrapping_add(1);
+        // Quantize [0,1) onto the k-bit grid.
+        let n = 1u64 << self.width;
+        ((frac * n as f64) as u64).min(n - 1)
+    }
+
+    fn reset(&mut self) {
+        self.index = 0;
+    }
+
+    fn period(&self) -> Option<u64> {
+        // Base-2 Halton on a k-bit grid is exactly van der Corput (period 2^k);
+        // other bases only approximately tile the grid, so report None.
+        if self.base == 2 {
+            Some(1u64 << self.width)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vdc_rejects_bad_width() {
+        assert!(VanDerCorput::new(0).is_err());
+        assert!(VanDerCorput::new(33).is_err());
+    }
+
+    #[test]
+    fn vdc_is_permutation_per_period() {
+        for width in [1u32, 2, 4, 8, 10] {
+            let mut vdc = VanDerCorput::new(width).unwrap();
+            let n = 1u64 << width;
+            let seen: HashSet<u64> = (0..n).map(|_| vdc.next_value()).collect();
+            assert_eq!(seen.len() as u64, n, "width {width}");
+            assert!(seen.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn vdc_prefixes_are_balanced() {
+        // Every 2^j-aligned prefix of the VDC sequence hits each residue
+        // class mod 2^(k-j) — the low-discrepancy property in integer form.
+        let mut vdc = VanDerCorput::new(8).unwrap();
+        let vals: Vec<u64> = (0..256).map(|_| vdc.next_value()).collect();
+        // First 16 values, scaled to 16 buckets of width 16, must be distinct buckets.
+        let buckets: HashSet<u64> = vals[..16].iter().map(|v| v / 16).collect();
+        assert_eq!(buckets.len(), 16);
+    }
+
+    #[test]
+    fn vdc_wraps_after_period() {
+        let mut vdc = VanDerCorput::new(4).unwrap();
+        let first: Vec<u64> = (0..16).map(|_| vdc.next_value()).collect();
+        let second: Vec<u64> = (0..16).map(|_| vdc.next_value()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn halton_base2_matches_vdc() {
+        let mut h = Halton::new(2, 6).unwrap();
+        let mut vdc = VanDerCorput::new(6).unwrap();
+        for i in 0..64 {
+            assert_eq!(h.next_value(), vdc.next_value(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn halton_base3_spreads() {
+        let mut h = Halton::new(3, 8).unwrap();
+        let vals: Vec<u64> = (0..243).map(|_| h.next_value()).collect();
+        // All values on the grid.
+        assert!(vals.iter().all(|&v| v < 256));
+        // The first 27 values should cover a wide spread of the range.
+        let buckets: HashSet<u64> = vals[..27].iter().map(|v| v / 32).collect();
+        assert!(buckets.len() >= 7, "got {} buckets", buckets.len());
+    }
+
+    #[test]
+    fn halton_rejects_bad_params() {
+        assert!(Halton::new(1, 8).is_err());
+        assert!(Halton::new(3, 0).is_err());
+        assert!(Halton::new(3, 40).is_err());
+    }
+
+    #[test]
+    fn reset_restores() {
+        let mut h = Halton::new(5, 8).unwrap();
+        let a: Vec<u64> = (0..20).map(|_| h.next_value()).collect();
+        h.reset();
+        let b: Vec<u64> = (0..20).map(|_| h.next_value()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+use crate::{Error, NumberSource};
+
+/// A linear ramp source — the digital model of the paper's ramp-compare
+/// analog-to-stochastic converter (§IV-A; Fick et al., CICC 2014).
+///
+/// The converter replaces the SNG's random number generator with a ramp
+/// signal swept across the full scale once per stream: cycle `t` emits `t`.
+/// Compared against a (sampled-and-held) sensor level `x`, the resulting
+/// stream is `1` for exactly the first `x` cycles — a thermometer code.
+///
+/// Two consequences the paper builds on:
+///
+/// * the stream encodes `x / 2^k` **exactly** over one period, and
+/// * it is **maximally auto-correlated**, which breaks conventional
+///   sequential SC circuits but not the TFF adder (§III), whose output
+///   depends only on input bit *counts*.
+///
+/// # Example
+///
+/// ```
+/// use scnn_rng::{NumberSource, Ramp, Sng};
+///
+/// # fn main() -> Result<(), scnn_rng::Error> {
+/// let mut sng = Sng::new(Ramp::new(3)?);
+/// let stream = sng.generate_level(5, 8);
+/// assert_eq!(stream.to_string(), "11111000"); // thermometer code
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ramp {
+    width: u32,
+    t: u64,
+}
+
+impl Ramp {
+    /// Creates a `width`-bit ramp (period `2^width`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedWidth`] unless `1 <= width <= 32`.
+    pub fn new(width: u32) -> Result<Self, Error> {
+        if !(1..=32).contains(&width) {
+            return Err(Error::UnsupportedWidth { width, min: 1, max: 32 });
+        }
+        Ok(Self { width, t: 0 })
+    }
+}
+
+impl NumberSource for Ramp {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let v = self.t;
+        self.t = (self.t + 1) & ((1u64 << self.width) - 1);
+        v
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+    }
+
+    fn period(&self) -> Option<u64> {
+        Some(1u64 << self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up_and_wraps() {
+        let mut r = Ramp::new(2).unwrap();
+        let vals: Vec<u64> = (0..9).map(|_| r.next_value()).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3, 0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        assert!(Ramp::new(0).is_err());
+        assert!(Ramp::new(33).is_err());
+    }
+
+    #[test]
+    fn reset_rewinds() {
+        let mut r = Ramp::new(4).unwrap();
+        r.next_value();
+        r.next_value();
+        r.reset();
+        assert_eq!(r.next_value(), 0);
+    }
+
+    #[test]
+    fn period_reported() {
+        assert_eq!(Ramp::new(8).unwrap().period(), Some(256));
+    }
+}

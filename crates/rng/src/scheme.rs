@@ -1,0 +1,409 @@
+//! The exact number-generation pairings evaluated by the paper's
+//! Tables 1 and 2.
+
+use crate::{Error, Lfsr, NumberSource, Ramp, RotatedView, Sng, Sobol2, TrueRandom, VanDerCorput};
+use scnn_bitstream::{BitStream, Precision};
+use std::fmt;
+
+/// Mixes a user seed into per-role sub-seeds so paired generators never
+/// collide accidentally.
+fn sub_seed(seed: u64, role: u64) -> u64 {
+    // SplitMix64 finalizer — cheap, deterministic, well spread.
+    let mut z = seed.wrapping_add(role.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn lfsr_seed(seed: u64, role: u64, width: u32) -> u64 {
+    let mask = (1u64 << width) - 1;
+    let s = sub_seed(seed, role) & mask;
+    if s == 0 {
+        1
+    } else {
+        s
+    }
+}
+
+/// The four stochastic-multiplier number-generation schemes of **Table 1**.
+///
+/// Each scheme prescribes where the two comparator inputs of an AND-gate
+/// multiplier's SNGs come from. Accuracy improves monotonically down the
+/// table (the paper adopts the last):
+///
+/// | Scheme | input X | input W |
+/// |---|---|---|
+/// | [`SharedLfsr`](Self::SharedLfsr) | one LFSR | rotated view of the *same* LFSR |
+/// | [`TwoLfsrs`](Self::TwoLfsrs) | LFSR A | independent LFSR B |
+/// | [`LowDiscrepancy`](Self::LowDiscrepancy) | van der Corput (Sobol' dim 1) | Sobol' dim 2 |
+/// | [`RampPlusLowDiscrepancy`](Self::RampPlusLowDiscrepancy) | ramp-compare converter | Sobol' dim 2 |
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::Precision;
+/// use scnn_rng::MultiplierScheme;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Precision::new(4)?;
+/// let (x, w) = MultiplierScheme::RampPlusLowDiscrepancy.generate(10, 8, p, 1)?;
+/// let product = x.and_count(&w)?;
+/// // Exact would be 10·8/16 = 5; ramp+VDC is very close.
+/// assert!((product as i64 - 5).abs() <= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MultiplierScheme {
+    /// One LFSR drives both SNGs; the second sees a bit-rotated view.
+    SharedLfsr,
+    /// Two independently seeded LFSRs.
+    TwoLfsrs,
+    /// Two mutually low-discrepancy sequences (Sobol' dimensions 1 and 2).
+    LowDiscrepancy,
+    /// Ramp-compare analog-to-stochastic conversion for X, VDC for W —
+    /// the configuration adopted by the paper.
+    RampPlusLowDiscrepancy,
+}
+
+impl MultiplierScheme {
+    /// All four schemes in Table 1 order.
+    pub const ALL: [MultiplierScheme; 4] = [
+        MultiplierScheme::SharedLfsr,
+        MultiplierScheme::TwoLfsrs,
+        MultiplierScheme::LowDiscrepancy,
+        MultiplierScheme::RampPlusLowDiscrepancy,
+    ];
+
+    /// The row label used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            MultiplierScheme::SharedLfsr => "One LFSR + shifted version",
+            MultiplierScheme::TwoLfsrs => "Two LFSRs",
+            MultiplierScheme::LowDiscrepancy => "Low-discrepancy sequences",
+            MultiplierScheme::RampPlusLowDiscrepancy => "Ramp-compare + low-discrepancy",
+        }
+    }
+
+    /// Generates the two input streams (`x`, `w`) of one multiplication at
+    /// the given input levels (`0..2^bits`), one full period long.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for unsupported widths.
+    pub fn generate(
+        self,
+        x_level: u64,
+        w_level: u64,
+        precision: Precision,
+        seed: u64,
+    ) -> Result<(BitStream, BitStream), Error> {
+        let bits = precision.bits();
+        let len = precision.stream_len();
+        match self {
+            MultiplierScheme::SharedLfsr => {
+                let base = Lfsr::new(bits.max(3), lfsr_seed(seed, 0, bits.max(3)))?;
+                // The "shifted version" reuses the very same register with
+                // its output bits rotated by one position — cheap, and
+                // heavily correlated with the original (hence Table 1's
+                // worst MSE for this scheme).
+                let mut x_sng = Sng::new(base.clone());
+                let mut w_sng = Sng::new(RotatedView::new(base, 1));
+                Ok((
+                    clip_to_width(&mut x_sng, x_level, len, bits),
+                    clip_to_width(&mut w_sng, w_level, len, bits),
+                ))
+            }
+            MultiplierScheme::TwoLfsrs => {
+                let a = Lfsr::new(bits.max(3), lfsr_seed(seed, 1, bits.max(3)))?;
+                let b = Lfsr::new(bits.max(3), lfsr_seed(seed, 2, bits.max(3)))?;
+                let mut x_sng = Sng::new(a);
+                let mut w_sng = Sng::new(b);
+                Ok((
+                    clip_to_width(&mut x_sng, x_level, len, bits),
+                    clip_to_width(&mut w_sng, w_level, len, bits),
+                ))
+            }
+            MultiplierScheme::LowDiscrepancy => {
+                // Sobol' dimensions 1 and 2 — jointly a (0,2)-sequence.
+                let mut x_sng = Sng::new(VanDerCorput::new(bits)?);
+                let mut w_sng = Sng::new(Sobol2::new(bits)?);
+                Ok((x_sng.generate_level(x_level, len), w_sng.generate_level(w_level, len)))
+            }
+            MultiplierScheme::RampPlusLowDiscrepancy => {
+                let mut x_sng = Sng::new(Ramp::new(bits)?);
+                let mut w_sng = Sng::new(Sobol2::new(bits)?);
+                Ok((x_sng.generate_level(x_level, len), w_sng.generate_level(w_level, len)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for MultiplierScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// LFSRs narrower than 3 bits don't exist; when the precision is 1 or 2
+/// bits we run a 3-bit LFSR and compare against a scaled level. The level
+/// scale factor is `2^(3 - bits)`.
+fn clip_to_width<S: NumberSource>(
+    sng: &mut Sng<S>,
+    level: u64,
+    len: usize,
+    bits: u32,
+) -> BitStream {
+    let scale = 1u64 << (sng.width() - bits);
+    sng.generate_level(level * scale, len)
+}
+
+/// The stream-source configurations for scaled addition in **Table 2**.
+///
+/// The first three rows feed the conventional MUX adder of Fig. 1b with
+/// different (data, data, select) sources; the fourth row is the paper's
+/// TFF adder, which needs no select stream at all.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::Precision;
+/// use scnn_rng::AdderScheme;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Precision::new(4)?;
+/// let io = AdderScheme::LfsrDataTffSelect.generate(8, 4, p, 7)?;
+/// assert_eq!(io.x.len(), 16);
+/// assert!(io.select.is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AdderScheme {
+    /// True-random data streams, LFSR-generated select stream (the common
+    /// prior-work configuration).
+    RandomDataLfsrSelect,
+    /// True-random data streams, alternating `0101…` select (a TFF toggling
+    /// every cycle).
+    RandomDataTffSelect,
+    /// LFSR-generated data streams, alternating select.
+    LfsrDataTffSelect,
+    /// The proposed TFF adder (Fig. 2b): data streams from low-discrepancy
+    /// SNGs, no select stream required.
+    NewTffAdder,
+}
+
+/// The streams an [`AdderScheme`] produces for one addition.
+#[derive(Debug, Clone)]
+pub struct AdderStreams {
+    /// First data operand.
+    pub x: BitStream,
+    /// Second data operand.
+    pub y: BitStream,
+    /// Select stream for MUX-based adders; `None` for the TFF adder.
+    pub select: Option<BitStream>,
+}
+
+impl AdderScheme {
+    /// All four rows in Table 2 order.
+    pub const ALL: [AdderScheme; 4] = [
+        AdderScheme::RandomDataLfsrSelect,
+        AdderScheme::RandomDataTffSelect,
+        AdderScheme::LfsrDataTffSelect,
+        AdderScheme::NewTffAdder,
+    ];
+
+    /// The row label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdderScheme::RandomDataLfsrSelect => "Old adder: random + LFSR",
+            AdderScheme::RandomDataTffSelect => "Old adder: random + TFF",
+            AdderScheme::LfsrDataTffSelect => "Old adder: LFSR + TFF",
+            AdderScheme::NewTffAdder => "New adder (TFF-based)",
+        }
+    }
+
+    /// Whether this row uses the conventional MUX adder (`true`) or the
+    /// proposed TFF adder (`false`).
+    pub fn is_mux(self) -> bool {
+        !matches!(self, AdderScheme::NewTffAdder)
+    }
+
+    /// Generates the operand (and select) streams for input levels
+    /// `x_level`, `y_level`, one full period long.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for unsupported widths.
+    pub fn generate(
+        self,
+        x_level: u64,
+        y_level: u64,
+        precision: Precision,
+        seed: u64,
+    ) -> Result<AdderStreams, Error> {
+        let bits = precision.bits();
+        let len = precision.stream_len();
+        let alternating = || BitStream::from_fn(len, |i| i % 2 == 0);
+        match self {
+            AdderScheme::RandomDataLfsrSelect => {
+                let mut x_sng = Sng::new(TrueRandom::new(bits, sub_seed(seed, 10))?);
+                let mut y_sng = Sng::new(TrueRandom::new(bits, sub_seed(seed, 11))?);
+                let w = bits.max(3);
+                let mut sel_sng = Sng::new(Lfsr::new(w, lfsr_seed(seed, 12, w))?);
+                let select = sel_sng.generate_level(1u64 << (w - 1), len);
+                Ok(AdderStreams {
+                    x: x_sng.generate_level(x_level, len),
+                    y: y_sng.generate_level(y_level, len),
+                    select: Some(select),
+                })
+            }
+            AdderScheme::RandomDataTffSelect => {
+                let mut x_sng = Sng::new(TrueRandom::new(bits, sub_seed(seed, 20))?);
+                let mut y_sng = Sng::new(TrueRandom::new(bits, sub_seed(seed, 21))?);
+                Ok(AdderStreams {
+                    x: x_sng.generate_level(x_level, len),
+                    y: y_sng.generate_level(y_level, len),
+                    select: Some(alternating()),
+                })
+            }
+            AdderScheme::LfsrDataTffSelect => {
+                let w = bits.max(3);
+                let mut x_sng = Sng::new(Lfsr::new(w, lfsr_seed(seed, 30, w))?);
+                let mut y_sng = Sng::new(Lfsr::new(w, lfsr_seed(seed, 31, w))?);
+                Ok(AdderStreams {
+                    x: clip_to_width(&mut x_sng, x_level, len, bits),
+                    y: clip_to_width(&mut y_sng, y_level, len, bits),
+                    select: Some(alternating()),
+                })
+            }
+            AdderScheme::NewTffAdder => {
+                let mut x_sng = Sng::new(VanDerCorput::new(bits)?);
+                let mut y_sng = Sng::new(Sobol2::new(bits)?);
+                Ok(AdderStreams {
+                    x: x_sng.generate_level(x_level, len),
+                    y: y_sng.generate_level(y_level, len),
+                    select: None,
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for AdderScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn precision(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn all_multiplier_schemes_generate_full_period_streams() {
+        let p = precision(4);
+        for scheme in MultiplierScheme::ALL {
+            let (x, w) = scheme.generate(7, 9, p, 42).unwrap();
+            assert_eq!(x.len(), 16, "{scheme}");
+            assert_eq!(w.len(), 16, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_streams_encode_exact_counts() {
+        let p = precision(6);
+        let (x, w) = MultiplierScheme::RampPlusLowDiscrepancy.generate(20, 33, p, 0).unwrap();
+        assert_eq!(x.count_ones(), 20);
+        assert_eq!(w.count_ones(), 33);
+    }
+
+    #[test]
+    fn shared_lfsr_multiplies_worse_than_two_lfsrs_overall() {
+        // Aggregate multiplication MSE (the Table 1 measurement, on a
+        // strided sample of input pairs at 8 bits, where the gap is large
+        // and seed-robust) must rank shared-LFSR worse than two LFSRs.
+        let p = precision(8);
+        let n = p.stream_len() as f64;
+        let mse = |scheme: MultiplierScheme| {
+            let mut total = 0.0;
+            let mut count = 0u32;
+            for x in p.all_levels().step_by(8) {
+                for w in p.all_levels().step_by(8) {
+                    let (sx, sw) = scheme.generate(x, w, p, 3).unwrap();
+                    let got = sx.and_count(&sw).unwrap() as f64 / n;
+                    let want = (x as f64 / n) * (w as f64 / n);
+                    total += (got - want).powi(2);
+                    count += 1;
+                }
+            }
+            total / f64::from(count)
+        };
+        let shared = mse(MultiplierScheme::SharedLfsr);
+        let two = mse(MultiplierScheme::TwoLfsrs);
+        assert!(shared > 4.0 * two, "shared={shared:.3e} two={two:.3e}");
+    }
+
+    #[test]
+    fn two_lfsrs_are_roughly_independent() {
+        let p = precision(8);
+        let (x, w) = MultiplierScheme::TwoLfsrs.generate(128, 128, p, 3).unwrap();
+        let overlap = x.and_count(&w).unwrap() as f64 / 256.0;
+        assert!((overlap - 0.25).abs() < 0.08, "overlap={overlap}");
+    }
+
+    #[test]
+    fn adder_schemes_generate_expected_shapes() {
+        let p = precision(4);
+        for scheme in AdderScheme::ALL {
+            let io = scheme.generate(5, 11, p, 9).unwrap();
+            assert_eq!(io.x.len(), 16, "{scheme}");
+            assert_eq!(io.y.len(), 16, "{scheme}");
+            assert_eq!(io.select.is_some(), scheme.is_mux(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn alternating_select_has_exact_half_density() {
+        let p = precision(6);
+        let io = AdderScheme::LfsrDataTffSelect.generate(10, 20, p, 1).unwrap();
+        let sel = io.select.unwrap();
+        assert_eq!(sel.count_ones() as usize, sel.len() / 2);
+    }
+
+    #[test]
+    fn small_precision_works_via_width_clipping() {
+        // 2-bit precision forces 3-bit LFSRs with scaled levels.
+        let p = precision(2);
+        for scheme in MultiplierScheme::ALL {
+            let (x, w) = scheme.generate(1, 3, p, 5).unwrap();
+            assert_eq!(x.len(), 4, "{scheme}");
+            assert_eq!(w.len(), 4, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            MultiplierScheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+        let labels: std::collections::HashSet<&str> =
+            AdderScheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = precision(8);
+        let a = MultiplierScheme::TwoLfsrs.generate(100, 50, p, 77).unwrap();
+        let b = MultiplierScheme::TwoLfsrs.generate(100, 50, p, 77).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,172 @@
+/// A deterministic or random source of `k`-bit comparator inputs.
+///
+/// One value is drawn per clock cycle and compared against the binary input
+/// level inside an [`Sng`](crate::Sng); the stream bit is `1` when
+/// `value < level`. All of the paper's number-generation schemes (LFSR,
+/// low-discrepancy, ramp, true random) implement this trait.
+pub trait NumberSource {
+    /// The width `k` in bits; values are drawn from `0..2^k`.
+    fn width(&self) -> u32;
+
+    /// Draws the next value in `0..2^k` and advances the source.
+    fn next_value(&mut self) -> u64;
+
+    /// Rewinds the source to its initial state, so identical streams can be
+    /// regenerated (all sources in this crate are deterministic once seeded).
+    fn reset(&mut self);
+
+    /// The number of cycles after which the source repeats, if periodic.
+    ///
+    /// `None` means aperiodic or astronomically long (true-random sources).
+    fn period(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: NumberSource + ?Sized> NumberSource for &mut S {
+    fn width(&self) -> u32 {
+        (**self).width()
+    }
+
+    fn next_value(&mut self) -> u64 {
+        (**self).next_value()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn period(&self) -> Option<u64> {
+        (**self).period()
+    }
+}
+
+impl<S: NumberSource + ?Sized> NumberSource for Box<S> {
+    fn width(&self) -> u32 {
+        (**self).width()
+    }
+
+    fn next_value(&mut self) -> u64 {
+        (**self).next_value()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn period(&self) -> Option<u64> {
+        (**self).period()
+    }
+}
+
+/// A bit-rotated view over another source.
+///
+/// Models the cheap trick of reusing one LFSR for a second SNG by wiring its
+/// state bits in a rotated order — the "one LFSR + shifted version" scheme of
+/// Table 1 (row 1). The rotation does *not* decorrelate the two streams,
+/// which is exactly why that scheme has the worst MSE in the table.
+///
+/// # Example
+///
+/// ```
+/// use scnn_rng::{Lfsr, NumberSource, RotatedView};
+///
+/// # fn main() -> Result<(), scnn_rng::Error> {
+/// let lfsr = Lfsr::new(8, 0x5a)?;
+/// let mut rotated = RotatedView::new(lfsr, 3);
+/// assert_eq!(rotated.width(), 8);
+/// let _ = rotated.next_value();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RotatedView<S> {
+    inner: S,
+    rotation: u32,
+}
+
+impl<S: NumberSource> RotatedView<S> {
+    /// Wraps `inner`, rotating each drawn value left by `rotation` bits
+    /// (modulo the width).
+    pub fn new(inner: S, rotation: u32) -> Self {
+        Self { inner, rotation }
+    }
+
+    /// Consumes the view, returning the wrapped source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: NumberSource> NumberSource for RotatedView<S> {
+    fn width(&self) -> u32 {
+        self.inner.width()
+    }
+
+    fn next_value(&mut self) -> u64 {
+        let w = self.inner.width();
+        let v = self.inner.next_value();
+        let r = self.rotation % w;
+        if r == 0 {
+            v
+        } else {
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            ((v << r) | (v >> (w - r))) & mask
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn period(&self) -> Option<u64> {
+        self.inner.period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lfsr;
+
+    #[test]
+    fn rotated_view_is_a_bijection_of_inner_values() {
+        let mut plain = Lfsr::new(6, 1).unwrap();
+        let mut rot = RotatedView::new(Lfsr::new(6, 1).unwrap(), 2);
+        for _ in 0..63 {
+            let v = plain.next_value();
+            let r = rot.next_value();
+            let expected = ((v << 2) | (v >> 4)) & 0x3f;
+            assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn rotation_zero_is_identity() {
+        let mut plain = Lfsr::new(8, 7).unwrap();
+        let mut rot = RotatedView::new(Lfsr::new(8, 7).unwrap(), 0);
+        for _ in 0..100 {
+            assert_eq!(plain.next_value(), rot.next_value());
+        }
+    }
+
+    #[test]
+    fn reset_propagates() {
+        let mut rot = RotatedView::new(Lfsr::new(8, 7).unwrap(), 5);
+        let first: Vec<u64> = (0..10).map(|_| rot.next_value()).collect();
+        rot.reset();
+        let again: Vec<u64> = (0..10).map(|_| rot.next_value()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn trait_object_and_borrow_impls() {
+        let mut lfsr = Lfsr::new(8, 1).unwrap();
+        let by_ref: &mut dyn NumberSource = &mut lfsr;
+        let mut boxed: Box<dyn NumberSource> = Box::new(Lfsr::new(8, 1).unwrap());
+        let mut l2 = Lfsr::new(8, 1).unwrap();
+        let via_ref = l2.next_value();
+        assert_eq!(by_ref.next_value(), boxed.next_value());
+        assert_eq!(via_ref, boxed.period().map(|_| via_ref).unwrap_or(via_ref));
+    }
+}

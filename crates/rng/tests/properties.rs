@@ -1,0 +1,135 @@
+//! Property-based tests for stochastic number generation.
+
+use proptest::prelude::*;
+use scnn_bitstream::Precision;
+use scnn_rng::{
+    AdderScheme, Lfsr, MultiplierScheme, NumberSource, Ramp, RotatedView, Sng, Sobol2,
+    TrueRandom, VanDerCorput,
+};
+
+proptest! {
+    /// Every deterministic source replays the same sequence after reset.
+    #[test]
+    fn sources_replay_after_reset(width in 3u32..=12, seed in 1u64..1000) {
+        let sources: Vec<Box<dyn NumberSource>> = vec![
+            Box::new(Lfsr::new(width, seed % ((1 << width) - 1) + 1).unwrap()),
+            Box::new(VanDerCorput::new(width).unwrap()),
+            Box::new(Sobol2::new(width).unwrap()),
+            Box::new(Ramp::new(width).unwrap()),
+            Box::new(TrueRandom::new(width, seed).unwrap()),
+        ];
+        for mut s in sources {
+            let a: Vec<u64> = (0..64).map(|_| s.next_value()).collect();
+            s.reset();
+            let b: Vec<u64> = (0..64).map(|_| s.next_value()).collect();
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// All drawn values fit the advertised width.
+    #[test]
+    fn values_fit_width(width in 3u32..=12, seed in 1u64..1000) {
+        let mut sources: Vec<Box<dyn NumberSource>> = vec![
+            Box::new(Lfsr::new(width, 1).unwrap()),
+            Box::new(VanDerCorput::new(width).unwrap()),
+            Box::new(Sobol2::new(width).unwrap()),
+            Box::new(Ramp::new(width).unwrap()),
+            Box::new(TrueRandom::new(width, seed).unwrap()),
+            Box::new(RotatedView::new(Lfsr::new(width, 1).unwrap(), seed as u32)),
+        ];
+        let limit = 1u64 << width;
+        for s in &mut sources {
+            for _ in 0..128 {
+                prop_assert!(s.next_value() < limit);
+            }
+        }
+    }
+
+    /// Permutation sources make the SNG exact at every level; the LFSR is
+    /// within one count of exact.
+    #[test]
+    fn sng_exactness(bits in 3u32..=9, level_frac in 0.0f64..1.0) {
+        let p = Precision::new(bits).unwrap();
+        let level = (level_frac * p.max_level() as f64).round() as u64;
+        let n = p.stream_len();
+
+        let mut vdc = Sng::new(VanDerCorput::new(bits).unwrap());
+        prop_assert_eq!(vdc.generate_level(level, n).count_ones(), level);
+
+        let mut sob = Sng::new(Sobol2::new(bits).unwrap());
+        prop_assert_eq!(sob.generate_level(level, n).count_ones(), level);
+
+        let mut ramp = Sng::new(Ramp::new(bits).unwrap());
+        prop_assert_eq!(ramp.generate_level(level, n).count_ones(), level);
+
+        let mut lfsr = Sng::new(Lfsr::new(bits, 1).unwrap());
+        let got = lfsr.generate_level(level, n).count_ones() as i64;
+        prop_assert!((got - level as i64).abs() <= 1);
+    }
+
+    /// Ramp streams are always thermometer-coded (1s then 0s).
+    #[test]
+    fn ramp_streams_are_thermometer(bits in 2u32..=10, level_frac in 0.0f64..1.0) {
+        let p = Precision::new(bits).unwrap();
+        let level = (level_frac * p.max_level() as f64).round() as u64;
+        let mut sng = Sng::new(Ramp::new(bits).unwrap());
+        let s = sng.generate_level(level, p.stream_len());
+        let bits_vec: Vec<bool> = s.iter().collect();
+        let first_zero = bits_vec.iter().position(|b| !b).unwrap_or(bits_vec.len());
+        prop_assert!(bits_vec[first_zero..].iter().all(|b| !b));
+        prop_assert_eq!(first_zero as u64, level);
+    }
+
+    /// Multiplier schemes: generated stream value error is bounded by the
+    /// scheme's nature — all stay within the stream's representable grid.
+    #[test]
+    fn multiplier_scheme_streams_have_right_length(
+        bits in 2u32..=8,
+        x in 0u64..256,
+        w in 0u64..256,
+        seed in 0u64..100,
+    ) {
+        let p = Precision::new(bits).unwrap();
+        let x = x % (p.max_level() + 1);
+        let w = w % (p.max_level() + 1);
+        for scheme in MultiplierScheme::ALL {
+            let (sx, sw) = scheme.generate(x, w, p, seed).unwrap();
+            prop_assert_eq!(sx.len(), p.stream_len());
+            prop_assert_eq!(sw.len(), p.stream_len());
+        }
+    }
+
+    /// Adder schemes produce selects only for MUX rows, and the select has
+    /// density 1/2 ± one count.
+    #[test]
+    fn adder_scheme_select_density(
+        bits in 2u32..=8,
+        x in 0u64..256,
+        y in 0u64..256,
+        seed in 0u64..100,
+    ) {
+        let p = Precision::new(bits).unwrap();
+        let x = x % (p.max_level() + 1);
+        let y = y % (p.max_level() + 1);
+        for scheme in AdderScheme::ALL {
+            let io = scheme.generate(x, y, p, seed).unwrap();
+            prop_assert_eq!(io.select.is_some(), scheme.is_mux());
+            if let Some(sel) = io.select {
+                let half = (p.stream_len() / 2) as i64;
+                prop_assert!((sel.count_ones() as i64 - half).abs() <= 1);
+            }
+        }
+    }
+
+    /// Sobol2 value_at is consistent with sequential iteration.
+    #[test]
+    fn sobol_value_at_consistent(bits in 1u32..=12, idx in 0u64..4096) {
+        let s = Sobol2::new(bits).unwrap();
+        let idx = idx % (1 << bits);
+        let mut seq = Sobol2::new(bits).unwrap();
+        for _ in 0..idx {
+            seq.next_value();
+        }
+        prop_assert_eq!(seq.next_value(), s.value_at(idx));
+    }
+}

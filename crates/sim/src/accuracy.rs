@@ -1,0 +1,230 @@
+//! Exhaustive accuracy sweeps — the measurements behind the paper's
+//! Tables 1 and 2.
+//!
+//! "The MSEs are calculated by exhaustively testing the
+//! multipliers/adders for every possible input value" (paper, §II-A/§III):
+//! for `b`-bit precision that is all `2^b × 2^b` input-level pairs, each
+//! evaluated over one full stream period of `N = 2^b` cycles.
+
+use crate::{MuxAdder, TffAdder};
+use scnn_bitstream::{Error as BitstreamError, Precision};
+use scnn_rng::{AdderScheme, Error as RngError, MultiplierScheme};
+use std::fmt;
+
+/// Aggregate error statistics from an exhaustive sweep.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::Precision;
+/// use scnn_rng::MultiplierScheme;
+/// use scnn_sim::accuracy::multiplier_sweep;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Precision::new(4)?;
+/// let report = multiplier_sweep(MultiplierScheme::RampPlusLowDiscrepancy, p, 1)?;
+/// assert!(report.mse < 3e-3);
+/// assert_eq!(report.samples, 16 * 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepReport {
+    /// Mean squared error over all input combinations.
+    pub mse: f64,
+    /// Largest absolute error observed.
+    pub max_abs_error: f64,
+    /// Number of input combinations evaluated.
+    pub samples: u64,
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mse {:.3e}, max |err| {:.3e} over {} inputs",
+            self.mse, self.max_abs_error, self.samples
+        )
+    }
+}
+
+/// Errors from accuracy sweeps (generator construction or stream algebra).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// A number source could not be built for the precision.
+    Rng(RngError),
+    /// Stream lengths disagreed (indicates an internal bug).
+    Bitstream(BitstreamError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Rng(e) => write!(f, "number generation failed: {e}"),
+            SweepError::Bitstream(e) => write!(f, "stream algebra failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Rng(e) => Some(e),
+            SweepError::Bitstream(e) => Some(e),
+        }
+    }
+}
+
+impl From<RngError> for SweepError {
+    fn from(e: RngError) -> Self {
+        SweepError::Rng(e)
+    }
+}
+
+impl From<BitstreamError> for SweepError {
+    fn from(e: BitstreamError) -> Self {
+        SweepError::Bitstream(e)
+    }
+}
+
+/// Exhaustive multiplier MSE for one Table 1 row: every `(x, w)` level pair
+/// at the given precision, one stream period each.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] if generators cannot be constructed.
+pub fn multiplier_sweep(
+    scheme: MultiplierScheme,
+    precision: Precision,
+    seed: u64,
+) -> Result<SweepReport, SweepError> {
+    let n = precision.stream_len() as f64;
+    let mut total_sq = 0.0;
+    let mut max_abs: f64 = 0.0;
+    let mut samples = 0u64;
+    for x in precision.all_levels() {
+        for w in precision.all_levels() {
+            let (sx, sw) = scheme.generate(x, w, precision, seed)?;
+            let got = sx.and_count(&sw)? as f64 / n;
+            let want = (x as f64 / n) * (w as f64 / n);
+            let err = got - want;
+            total_sq += err * err;
+            max_abs = max_abs.max(err.abs());
+            samples += 1;
+        }
+    }
+    Ok(SweepReport { mse: total_sq / samples as f64, max_abs_error: max_abs, samples })
+}
+
+/// Exhaustive scaled-adder MSE for one Table 2 row: every `(x, y)` level
+/// pair at the given precision.
+///
+/// MUX rows are driven by the scheme's data + select streams; the
+/// [`AdderScheme::NewTffAdder`] row uses a [`TffAdder`] with `S0 = 0`.
+/// The reference value is `(x + y) / 2N`.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] if generators cannot be constructed.
+pub fn adder_sweep(
+    scheme: AdderScheme,
+    precision: Precision,
+    seed: u64,
+) -> Result<SweepReport, SweepError> {
+    let n = precision.stream_len() as f64;
+    let mut total_sq = 0.0;
+    let mut max_abs: f64 = 0.0;
+    let mut samples = 0u64;
+    for x in precision.all_levels() {
+        for y in precision.all_levels() {
+            let io = scheme.generate(x, y, precision, seed)?;
+            let got = match io.select {
+                Some(select) => MuxAdder.add(&io.x, &io.y, &select)?.count_ones(),
+                None => TffAdder::new(false).add(&io.x, &io.y)?.count_ones(),
+            } as f64
+                / n;
+            let want = (x as f64 + y as f64) / (2.0 * n);
+            let err = got - want;
+            total_sq += err * err;
+            max_abs = max_abs.max(err.abs());
+            samples += 1;
+        }
+    }
+    Ok(SweepReport { mse: total_sq / samples as f64, max_abs_error: max_abs, samples })
+}
+
+/// The closed-form MSE of the TFF adder with `S0 = 0` over exact input
+/// streams: odd `x + y` rounds down by `1/(2N)`, even sums are exact, so
+/// `MSE = 1 / (8·N²)`. The paper's Table 2 "new adder" row matches this
+/// formula at both precisions (1.91e-6 at 8 bits, 4.88e-4 at 4 bits).
+pub fn tff_adder_theoretical_mse(precision: Precision) -> f64 {
+    let n = precision.stream_len() as f64;
+    1.0 / (8.0 * n * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn precision(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn new_adder_matches_theory_exactly() {
+        for bits in [4u32, 6, 8] {
+            let p = precision(bits);
+            let report = adder_sweep(AdderScheme::NewTffAdder, p, 0).unwrap();
+            let theory = tff_adder_theoretical_mse(p);
+            assert!(
+                (report.mse - theory).abs() < 1e-12,
+                "{bits}-bit: measured {:.3e}, theory {theory:.3e}",
+                report.mse
+            );
+        }
+    }
+
+    #[test]
+    fn new_adder_beats_every_mux_configuration() {
+        let p = precision(4);
+        let new = adder_sweep(AdderScheme::NewTffAdder, p, 1).unwrap().mse;
+        for scheme in [
+            AdderScheme::RandomDataLfsrSelect,
+            AdderScheme::RandomDataTffSelect,
+            AdderScheme::LfsrDataTffSelect,
+        ] {
+            let old = adder_sweep(scheme, p, 1).unwrap().mse;
+            assert!(new < old, "{scheme}: new {new:.3e} vs old {old:.3e}");
+        }
+    }
+
+    #[test]
+    fn ramp_low_discrepancy_is_best_multiplier_at_8bit() {
+        let p = precision(8);
+        let reports: Vec<f64> = MultiplierScheme::ALL
+            .iter()
+            .map(|s| multiplier_sweep(*s, p, 1).unwrap().mse)
+            .collect();
+        // Table 1 ordering: shared worst, ramp+LD best.
+        let shared = reports[0];
+        let ramp_ld = reports[3];
+        assert!(ramp_ld < shared / 50.0, "shared {shared:.3e}, ramp+LD {ramp_ld:.3e}");
+        assert!(reports[3] <= reports[2], "ramp+LD should beat plain LD");
+        assert!(reports[2] < reports[1], "LD should beat two LFSRs");
+    }
+
+    #[test]
+    fn max_error_bounded_by_one_for_exact_generators() {
+        let p = precision(6);
+        let report = adder_sweep(AdderScheme::NewTffAdder, p, 0).unwrap();
+        assert!(report.max_abs_error <= 1.0 / (2.0 * p.stream_len() as f64) + 1e-12);
+    }
+
+    #[test]
+    fn report_display() {
+        let r = SweepReport { mse: 1e-5, max_abs_error: 2e-3, samples: 256 };
+        let s = r.to_string();
+        assert!(s.contains("256"));
+    }
+}

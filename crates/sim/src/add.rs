@@ -1,0 +1,269 @@
+use crate::TFlipFlop;
+use scnn_bitstream::{BitStream, Error};
+
+/// The conventional scaled stochastic adder: a 2:1 multiplexer whose select
+/// input is a `p = 1/2` stream (Fig. 1b).
+///
+/// Output value is `(p_X + p_Y) / 2`, but each output bit *discards* one of
+/// the two input bits, so the result carries sampling noise from the select
+/// stream — the accuracy loss Table 2 quantifies and the TFF adder
+/// eliminates.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::MuxAdder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = BitStream::parse("1111")?;
+/// let y = BitStream::parse("0000")?;
+/// let select = BitStream::parse("0101")?; // exactly half
+/// // select=0 picks x, select=1 picks y.
+/// let z = MuxAdder.add(&x, &y, &select)?;
+/// assert_eq!(z.unipolar().get(), 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MuxAdder;
+
+impl MuxAdder {
+    /// Computes the multiplexed sum stream: bit `t` is `x_t` when
+    /// `select_t = 0` and `y_t` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if any two lengths differ.
+    pub fn add(self, x: &BitStream, y: &BitStream, select: &BitStream) -> Result<BitStream, Error> {
+        // z = (¬s ∧ x) ∨ (s ∧ y), evaluated on packed words.
+        let pick_x = select.not().checked_and(x)?;
+        let pick_y = select.checked_and(y)?;
+        pick_x.checked_or(&pick_y)
+    }
+}
+
+/// The OR-gate "adder" (Li et al., FPGA 2016): `p_Z = p_X + p_Y − p_X·p_Y`,
+/// a usable approximation of addition only when both inputs are near zero.
+///
+/// Included as the background design of §II-A and for ablation benches.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::OrAdder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = BitStream::parse("1000_0000")?; // 1/8
+/// let y = BitStream::parse("0000_0010")?; // 1/8
+/// let z = OrAdder.add(&x, &y)?;
+/// assert_eq!(z.unipolar().get(), 0.25); // ≈ 1/8 + 1/8 near zero
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrAdder;
+
+impl OrAdder {
+    /// Computes the OR of the two streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn add(self, x: &BitStream, y: &BitStream) -> Result<BitStream, Error> {
+        x.checked_or(y)
+    }
+}
+
+/// The paper's TFF-based scaled adder (Fig. 2b) — the central circuit
+/// contribution.
+///
+/// Per cycle: if `x = y` the common bit propagates to the output; otherwise
+/// the TFF's current state is emitted and the TFF toggles. Consequences
+/// (§III, all property-tested):
+///
+/// * `ones(Z) = ones(X∧Y) + ⌊ones(X⊕Y)/2⌋` for initial state `S0 = 0`
+///   (`⌈·⌉` for `S0 = 1`), i.e. **exactly** `⌊(ones(X)+ones(Y))/2⌋` /
+///   `⌈·⌉` — the scaled sum with at most one LSB of rounding,
+/// * the result depends only on input bit *counts*, never on bit order, so
+///   auto-correlated inputs (e.g. ramp-converted sensor data) are fine,
+/// * no auxiliary random number source is needed.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::TffAdder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Fig. 2c: (3/8 + 1/4)/2 = 5/16 rounds to 1/4 (S0=0) or 3/8 (S0=1).
+/// let x = BitStream::parse("0100 1010")?;
+/// let y = BitStream::parse("0010 0010")?;
+/// assert_eq!(TffAdder::new(false).add(&x, &y)?.count_ones(), 2);
+/// assert_eq!(TffAdder::new(true).add(&x, &y)?.count_ones(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TffAdder {
+    initial_state: bool,
+}
+
+impl TffAdder {
+    /// Creates an adder whose TFF starts at `initial_state` (`S0`).
+    ///
+    /// `S0 = false` rounds unrepresentable results down; `true` rounds up.
+    pub fn new(initial_state: bool) -> Self {
+        Self { initial_state }
+    }
+
+    /// The configured initial state.
+    pub fn initial_state(self) -> bool {
+        self.initial_state
+    }
+
+    /// Computes the scaled-sum stream bit by bit (the reference sequential
+    /// model of the hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn add(self, x: &BitStream, y: &BitStream) -> Result<BitStream, Error> {
+        if x.len() != y.len() {
+            return Err(Error::LengthMismatch { left: x.len(), right: y.len() });
+        }
+        let mut tff = TFlipFlop::new(self.initial_state);
+        Ok(BitStream::from_fn(x.len(), |i| {
+            let (xb, yb) = (x.get(i).expect("i < len"), y.get(i).expect("i < len"));
+            if xb == yb {
+                xb
+            } else {
+                tff.emit_and_clock(true)
+            }
+        }))
+    }
+
+    /// The output 1-count without simulating bit by bit:
+    /// `⌊(ones(X)+ones(Y))/2⌋` or `⌈·⌉` by `S0`.
+    ///
+    /// This closed form is what lets the convolution engine in `scnn-core`
+    /// fold whole adder trees arithmetically; its equivalence to [`add`]
+    /// is property-tested.
+    ///
+    /// [`add`]: Self::add
+    pub fn add_count(self, ones_x: u64, ones_y: u64) -> u64 {
+        let sum = ones_x + ones_y;
+        if self.initial_state {
+            sum.div_ceil(2)
+        } else {
+            sum / 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of Fig. 2b, bit for bit.
+    #[test]
+    fn paper_example_fig2b() {
+        let x = BitStream::parse("0110 0011 0101 0111 1000").unwrap(); // 1/2
+        let y = BitStream::parse("1011 1111 0101 0111 1111").unwrap(); // 4/5
+        let z = TffAdder::new(false).add(&x, &y).unwrap();
+        assert_eq!(z.to_string(), "01101011010101111101");
+        assert_eq!(z.count_ones(), 13); // 13/20 = (1/2 + 4/5)/2
+    }
+
+    /// The initial-state rounding example of Fig. 2c.
+    #[test]
+    fn paper_example_fig2c_rounding() {
+        let x = BitStream::parse("0100 1010").unwrap(); // 3/8
+        let y = BitStream::parse("0010 0010").unwrap(); // 1/4
+        let z0 = TffAdder::new(false).add(&x, &y).unwrap();
+        let z1 = TffAdder::new(true).add(&x, &y).unwrap();
+        assert_eq!(z0.to_string(), "00100010", "S0=0 rounds down to 1/4");
+        assert_eq!(z1.to_string(), "01001010", "S0=1 rounds up to 3/8");
+    }
+
+    #[test]
+    fn equal_streams_pass_through() {
+        let x = BitStream::parse("1011_0100").unwrap();
+        let z = TffAdder::new(false).add(&x, &x).unwrap();
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn count_formula_exhaustive_over_8bit_patterns() {
+        for px in 0u32..=255 {
+            for py in [0u32, 1, 37, 170, 255] {
+                let x = BitStream::from_fn(8, |i| px >> i & 1 == 1);
+                let y = BitStream::from_fn(8, |i| py >> i & 1 == 1);
+                for s0 in [false, true] {
+                    let adder = TffAdder::new(s0);
+                    let z = adder.add(&x, &y).unwrap();
+                    assert_eq!(
+                        z.count_ones(),
+                        adder.add_count(x.count_ones(), y.count_ones()),
+                        "px={px:08b} py={py:08b} s0={s0}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insensitive_to_autocorrelation() {
+        // Thermometer vs alternating encodings of the same values must give
+        // identical counts — the property the MUX adder lacks.
+        let x1 = BitStream::parse("1111_1000").unwrap();
+        let x2 = BitStream::parse("1010_1011").unwrap(); // also 5 ones
+        let y1 = BitStream::parse("1110_0000").unwrap();
+        let y2 = BitStream::parse("0101_0100").unwrap(); // also 3 ones
+        let a = TffAdder::new(false);
+        assert_eq!(
+            a.add(&x1, &y1).unwrap().count_ones(),
+            a.add(&x2, &y2).unwrap().count_ones()
+        );
+    }
+
+    #[test]
+    fn mux_adder_picks_by_select() {
+        let x = BitStream::parse("1111").unwrap();
+        let y = BitStream::parse("0000").unwrap();
+        let all_x = BitStream::parse("0000").unwrap();
+        let all_y = BitStream::parse("1111").unwrap();
+        assert_eq!(MuxAdder.add(&x, &y, &all_x).unwrap(), x);
+        assert_eq!(MuxAdder.add(&x, &y, &all_y).unwrap(), y);
+    }
+
+    #[test]
+    fn mux_adder_length_checks() {
+        let x = BitStream::zeros(4);
+        let y = BitStream::zeros(4);
+        let s = BitStream::zeros(5);
+        assert!(MuxAdder.add(&x, &y, &s).is_err());
+        assert!(TffAdder::new(false).add(&x, &s).is_err());
+        assert!(OrAdder.add(&x, &s).is_err());
+    }
+
+    #[test]
+    fn or_adder_saturates_for_large_inputs() {
+        let x = BitStream::parse("1111_1100").unwrap(); // 6/8
+        let y = BitStream::parse("1111_0011").unwrap(); // 6/8
+        let z = OrAdder.add(&x, &y).unwrap();
+        // True sum would be 1.5; OR saturates near 1.
+        assert!(z.unipolar().get() <= 1.0);
+        assert!(z.unipolar().get() >= 0.75);
+    }
+
+    #[test]
+    fn tff_adder_rounding_direction() {
+        // 1 + 0 ones over length 4: sum 1, floor → 0, ceil → 1.
+        let x = BitStream::parse("0100").unwrap();
+        let y = BitStream::parse("0000").unwrap();
+        assert_eq!(TffAdder::new(false).add(&x, &y).unwrap().count_ones(), 0);
+        assert_eq!(TffAdder::new(true).add(&x, &y).unwrap().count_ones(), 1);
+    }
+}

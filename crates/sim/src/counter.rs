@@ -1,0 +1,233 @@
+use scnn_bitstream::BitStream;
+
+/// A stochastic-to-binary converter: a `width`-bit ripple (asynchronous)
+/// counter that counts the `1`s of a stream (Fig. 1d).
+///
+/// The paper uses *asynchronous* counters because a ripple counter accepts a
+/// new input pulse before the previous carry has fully propagated, letting
+/// the SC datapath clock faster than a synchronous counter would allow
+/// (§II-A). Functionally both count identically; the timing advantage is
+/// captured in the `scnn-hw` cost model. This model wraps modulo `2^width`
+/// and records whether it ever overflowed.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::AsyncCounter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stream = BitStream::parse("1011_0110")?;
+/// let mut counter = AsyncCounter::new(8);
+/// counter.count(&stream);
+/// assert_eq!(counter.value(), 5);
+/// assert!(!counter.overflowed());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsyncCounter {
+    width: u32,
+    value: u64,
+    overflowed: bool,
+}
+
+impl AsyncCounter {
+    /// Creates a counter of `width` bits (1..=63), initially zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=63).contains(&width), "counter width {width} out of range 1..=63");
+        Self { width, value: 0, overflowed: false }
+    }
+
+    /// The counter width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Accumulates every `1` of `stream` into the counter.
+    pub fn count(&mut self, stream: &BitStream) {
+        self.add_pulses(stream.count_ones());
+    }
+
+    /// Accumulates `pulses` increments (the packed fast path).
+    pub fn add_pulses(&mut self, pulses: u64) {
+        let modulus = 1u64 << self.width;
+        let sum = self.value + pulses;
+        if sum >= modulus {
+            self.overflowed = true;
+        }
+        self.value = sum % modulus;
+    }
+
+    /// The current counter value (modulo `2^width`).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Whether the counter ever wrapped — a sizing bug in the surrounding
+    /// design if it happens.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Resets value and overflow flag.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.overflowed = false;
+    }
+}
+
+/// A saturating up/down counter: increments on `up` pulses, decrements on
+/// `down` pulses.
+///
+/// This is the single-counter alternative to the paper's two-counter +
+/// comparator arrangement for computing `sign(g_pos − g_neg)`; both are
+/// provided because the hardware model costs them differently.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::UpDownCounter;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pos = BitStream::parse("1110")?;
+/// let neg = BitStream::parse("1000")?;
+/// let mut c = UpDownCounter::new(8);
+/// c.count(&pos, &neg)?;
+/// assert_eq!(c.value(), 2); // 3 up, 1 down
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpDownCounter {
+    width: u32,
+    value: i64,
+    saturated: bool,
+}
+
+impl UpDownCounter {
+    /// Creates a signed counter covering `[-2^(width-1), 2^(width-1) - 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=63).contains(&width), "counter width {width} out of range 1..=63");
+        Self { width, value: 0, saturated: false }
+    }
+
+    /// Applies paired up/down streams cycle-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length-mismatch error if the streams differ in length.
+    pub fn count(&mut self, up: &BitStream, down: &BitStream) -> Result<(), scnn_bitstream::Error> {
+        if up.len() != down.len() {
+            return Err(scnn_bitstream::Error::LengthMismatch { left: up.len(), right: down.len() });
+        }
+        self.add_pulses(up.count_ones() as i64 - down.count_ones() as i64);
+        Ok(())
+    }
+
+    /// Accumulates a signed pulse balance, saturating at the rails.
+    pub fn add_pulses(&mut self, delta: i64) {
+        let max = (1i64 << (self.width - 1)) - 1;
+        let min = -(1i64 << (self.width - 1));
+        let sum = self.value + delta;
+        if sum > max {
+            self.value = max;
+            self.saturated = true;
+        } else if sum < min {
+            self.value = min;
+            self.saturated = true;
+        } else {
+            self.value = sum;
+        }
+    }
+
+    /// The current signed value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Whether the counter ever hit a rail.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Resets value and saturation flag.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.saturated = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ones() {
+        let s = BitStream::parse("1111_1111_11").unwrap();
+        let mut c = AsyncCounter::new(8);
+        c.count(&s);
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn accumulates_across_calls() {
+        let s = BitStream::parse("101").unwrap();
+        let mut c = AsyncCounter::new(4);
+        c.count(&s);
+        c.count(&s);
+        assert_eq!(c.value(), 4);
+    }
+
+    #[test]
+    fn wraps_and_flags_overflow() {
+        let mut c = AsyncCounter::new(3);
+        c.add_pulses(9); // 9 mod 8 = 1
+        assert_eq!(c.value(), 1);
+        assert!(c.overflowed());
+        c.reset();
+        assert_eq!(c.value(), 0);
+        assert!(!c.overflowed());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_width() {
+        let _ = AsyncCounter::new(0);
+    }
+
+    #[test]
+    fn up_down_balance() {
+        let up = BitStream::parse("111000").unwrap();
+        let down = BitStream::parse("110110").unwrap();
+        let mut c = UpDownCounter::new(8);
+        c.count(&up, &down).unwrap();
+        assert_eq!(c.value(), -1);
+        assert!(!c.saturated());
+    }
+
+    #[test]
+    fn up_down_saturates() {
+        let mut c = UpDownCounter::new(4); // range -8..=7
+        c.add_pulses(100);
+        assert_eq!(c.value(), 7);
+        assert!(c.saturated());
+        c.add_pulses(-100);
+        assert_eq!(c.value(), -8);
+    }
+
+    #[test]
+    fn up_down_length_mismatch() {
+        let mut c = UpDownCounter::new(4);
+        assert!(c.count(&BitStream::zeros(3), &BitStream::zeros(4)).is_err());
+    }
+}

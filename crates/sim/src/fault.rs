@@ -1,0 +1,135 @@
+//! Bit-flip fault injection.
+//!
+//! One of stochastic computing's selling points (§I) is graceful
+//! degradation: a flipped stream bit perturbs the encoded value by exactly
+//! `1/N`, whereas a flipped binary MSB halves the dynamic range. These
+//! helpers inject faults so tests and benches can quantify that claim.
+
+use rand::Rng;
+use scnn_bitstream::BitStream;
+
+/// Flips each bit of `stream` independently with probability `ber`
+/// (bit-error rate), returning how many bits were flipped.
+///
+/// # Panics
+///
+/// Panics if `ber` is not within `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::fault::inject_bit_errors;
+///
+/// let mut stream = BitStream::zeros(1000);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let flipped = inject_bit_errors(&mut stream, 0.01, &mut rng);
+/// assert_eq!(stream.count_ones(), flipped as u64);
+/// ```
+pub fn inject_bit_errors<R: Rng>(stream: &mut BitStream, ber: f64, rng: &mut R) -> usize {
+    assert!((0.0..=1.0).contains(&ber), "bit-error rate {ber} outside [0, 1]");
+    let mut flipped = 0;
+    for i in 0..stream.len() {
+        if rng.gen_bool(ber) {
+            stream.flip(i).expect("index < len");
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+/// Flips exactly `count` distinct positions chosen uniformly at random,
+/// returning the chosen positions.
+///
+/// # Panics
+///
+/// Panics if `count > stream.len()`.
+pub fn inject_exact_flips<R: Rng>(stream: &mut BitStream, count: usize, rng: &mut R) -> Vec<usize> {
+    assert!(count <= stream.len(), "cannot flip {count} of {} bits", stream.len());
+    // Floyd's sampling: uniform distinct positions without a full shuffle.
+    let mut chosen = std::collections::HashSet::with_capacity(count);
+    let n = stream.len();
+    for j in (n - count)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+    }
+    let mut positions: Vec<usize> = chosen.into_iter().collect();
+    positions.sort_unstable();
+    for &p in &positions {
+        stream.flip(p).expect("index < len");
+    }
+    positions
+}
+
+/// The worst-case value perturbation `count` flips can cause on a stream of
+/// length `len`: each flip moves the unipolar value by exactly `1/len`.
+pub fn max_value_perturbation(count: usize, len: usize) -> f64 {
+    count as f64 / len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn ber_zero_flips_nothing() {
+        let mut s = BitStream::ones(100);
+        assert_eq!(inject_bit_errors(&mut s, 0.0, &mut rng()), 0);
+        assert_eq!(s.count_ones(), 100);
+    }
+
+    #[test]
+    fn ber_one_flips_everything() {
+        let mut s = BitStream::ones(100);
+        assert_eq!(inject_bit_errors(&mut s, 1.0, &mut rng()), 100);
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn ber_validated() {
+        let mut s = BitStream::zeros(10);
+        inject_bit_errors(&mut s, 1.5, &mut rng());
+    }
+
+    #[test]
+    fn exact_flips_change_exactly_count_positions() {
+        let mut s = BitStream::zeros(200);
+        let positions = inject_exact_flips(&mut s, 17, &mut rng());
+        assert_eq!(positions.len(), 17);
+        assert_eq!(s.count_ones(), 17);
+        // Distinct and in range.
+        let unique: std::collections::HashSet<_> = positions.iter().collect();
+        assert_eq!(unique.len(), 17);
+        assert!(positions.iter().all(|&p| p < 200));
+    }
+
+    #[test]
+    fn value_perturbation_is_linear_in_flips() {
+        let original = BitStream::from_fn(256, |i| i % 3 == 0);
+        let v0 = original.unipolar().get();
+        for flips in [1usize, 4, 16, 64] {
+            let mut s = original.clone();
+            inject_exact_flips(&mut s, flips, &mut rng());
+            let dv = (s.unipolar().get() - v0).abs();
+            assert!(
+                dv <= max_value_perturbation(flips, 256) + 1e-12,
+                "flips={flips} dv={dv}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot flip")]
+    fn exact_flips_validated() {
+        let mut s = BitStream::zeros(4);
+        inject_exact_flips(&mut s, 5, &mut rng());
+    }
+}

@@ -1,0 +1,205 @@
+//! Finite-state-machine stochastic elements (Brown & Card, IEEE Trans.
+//! Computers 2001 — the paper's reference [7] for stochastic neural
+//! computation).
+//!
+//! Classic stochastic NNs built their activation functions from saturating
+//! counters driven by the bit-stream itself. The paper's hybrid design
+//! *replaces* these with a binary sign comparator precisely because FSM
+//! elements misbehave on auto-correlated inputs (§III) — these models make
+//! that argument testable.
+
+use scnn_bitstream::BitStream;
+
+/// A saturating up/down counter FSM with `2n` states that computes the
+/// *stochastic tanh*: for an input stream of bipolar value `v`, the output
+/// stream's bipolar value approximates `tanh(n·v)` (Brown & Card's
+/// `Stanh` element).
+///
+/// State advances on input `1`, retreats on `0`; the output bit is `1`
+/// in the upper half of the state space.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::Stanh;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A strongly positive bipolar input (p = 0.9 ⇒ v = 0.8) saturates.
+/// let input = BitStream::from_fn(512, |i| i % 10 != 0);
+/// let output = Stanh::new(8)?.transform(&input);
+/// assert!(output.bipolar().get() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stanh {
+    states: u32,
+}
+
+impl Stanh {
+    /// Creates an `Stanh` with `2n` states (`states` must be even, ≥ 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`scnn_bitstream::Error::InvalidPrecision`] if `states` is
+    /// odd or below 2.
+    pub fn new(states: u32) -> Result<Self, scnn_bitstream::Error> {
+        if states < 2 || !states.is_multiple_of(2) {
+            return Err(scnn_bitstream::Error::InvalidPrecision { bits: states });
+        }
+        Ok(Self { states })
+    }
+
+    /// The number of FSM states.
+    pub fn states(&self) -> u32 {
+        self.states
+    }
+
+    /// Runs the FSM over the input stream (initial state: mid-scale).
+    pub fn transform(&self, input: &BitStream) -> BitStream {
+        let mut state = self.states / 2;
+        BitStream::from_fn(input.len(), |i| {
+            let bit = input.get(i).expect("index < len");
+            if bit {
+                state = (state + 1).min(self.states - 1);
+            } else {
+                state = state.saturating_sub(1);
+            }
+            state >= self.states / 2
+        })
+    }
+
+    /// The ideal transfer function this FSM approximates, `tanh(n·v)` for
+    /// `2n` states, in the bipolar domain.
+    pub fn ideal(&self, v: f64) -> f64 {
+        (f64::from(self.states) / 2.0 * v).tanh()
+    }
+}
+
+/// A stochastic exponentiation element (`p_out ≈ p_in^k`): `k` cascaded
+/// AND gates fed by independently delayed copies of the input — a
+/// combinational FSM-free element included for the §II background on how
+/// prior SC libraries built nonlinearities.
+///
+/// The delayed copies are only as independent as the input's
+/// auto-correlation allows, which is exactly why it fails on thermometer
+/// (ramp-converted) streams — property-tested below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Power {
+    exponent: u32,
+}
+
+impl Power {
+    /// Creates a `p^exponent` element (`exponent ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`scnn_bitstream::Error::InvalidPrecision`] if
+    /// `exponent` is 0.
+    pub fn new(exponent: u32) -> Result<Self, scnn_bitstream::Error> {
+        if exponent == 0 {
+            return Err(scnn_bitstream::Error::InvalidPrecision { bits: 0 });
+        }
+        Ok(Self { exponent })
+    }
+
+    /// ANDs `exponent` copies of the input delayed by 1 cycle each
+    /// (circular delay so all copies keep the same density).
+    pub fn transform(&self, input: &BitStream) -> BitStream {
+        let n = input.len();
+        BitStream::from_fn(n, |i| {
+            (0..self.exponent).all(|d| input.get((i + d as usize) % n).expect("index < len"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_rng::{Sng, TrueRandom};
+
+    #[test]
+    fn stanh_validates_states() {
+        assert!(Stanh::new(0).is_err());
+        assert!(Stanh::new(3).is_err());
+        assert!(Stanh::new(8).is_ok());
+    }
+
+    #[test]
+    fn stanh_tracks_ideal_tanh_on_random_streams() {
+        let mut sng = Sng::new(TrueRandom::new(10, 7).unwrap());
+        let stanh = Stanh::new(4).unwrap();
+        for &p in &[0.2f64, 0.4, 0.5, 0.6, 0.8] {
+            sng.reset();
+            let level = (p * 1024.0) as u64;
+            let input = sng.generate_level(level, 8192);
+            let out = stanh.transform(&input).bipolar().get();
+            let ideal = stanh.ideal(2.0 * p - 1.0);
+            assert!(
+                (out - ideal).abs() < 0.12,
+                "p={p}: fsm {out:.3} vs ideal {ideal:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn stanh_saturates_at_extremes() {
+        let stanh = Stanh::new(8).unwrap();
+        let ones = BitStream::ones(256);
+        assert!(stanh.transform(&ones).bipolar().get() > 0.95);
+        let zeros = BitStream::zeros(256);
+        assert!(stanh.transform(&zeros).bipolar().get() < -0.95);
+    }
+
+    #[test]
+    fn stanh_breaks_on_thermometer_inputs() {
+        // The §III argument: sequential SC elements misbehave on
+        // auto-correlated streams. A thermometer stream at density 0.75
+        // (bipolar 0.5) should saturate to tanh(4·0.5) ≈ 0.96, but the FSM
+        // just tracks the run structure of the stream instead.
+        let stanh = Stanh::new(8).unwrap();
+        let thermometer = BitStream::from_fn(256, |i| i < 192);
+        let out = stanh.transform(&thermometer).bipolar().get();
+        let ideal = stanh.ideal(0.5);
+        assert!(
+            out < ideal - 0.2,
+            "expected gross undershoot on thermometer input: got {out:.3}, ideal {ideal:.3}"
+        );
+        // Whereas the TFF adder on the same stream (halved against an
+        // all-ones stream) stays exact: (0.75 + 1)/2 = 0.875.
+        let exact = crate::TffAdder::new(false)
+            .add(&thermometer, &BitStream::ones(256))
+            .unwrap();
+        assert_eq!(exact.count_ones(), 224);
+    }
+
+    #[test]
+    fn power_squares_random_streams() {
+        let mut sng = Sng::new(TrueRandom::new(10, 3).unwrap());
+        let square = Power::new(2).unwrap();
+        let input = sng.generate_level(512, 8192); // p = 0.5
+        let out = square.transform(&input).unipolar().get();
+        assert!((out - 0.25).abs() < 0.05, "p² = {out}");
+    }
+
+    #[test]
+    fn power_fails_on_thermometer_streams() {
+        // Delayed copies of a thermometer stream are almost identical, so
+        // AND-ing them returns ~p instead of p².
+        let square = Power::new(2).unwrap();
+        let thermometer = BitStream::from_fn(256, |i| i < 128);
+        let out = square.transform(&thermometer).unipolar().get();
+        assert!((out - 0.5).abs() < 0.05, "correlated copies: got {out}, ~p not p²");
+    }
+
+    #[test]
+    fn power_validates_exponent() {
+        assert!(Power::new(0).is_err());
+        assert!(Power::new(1).is_ok());
+        // Exponent 1 is the identity.
+        let id = Power::new(1).unwrap();
+        let s = BitStream::from_fn(64, |i| i % 3 == 0);
+        assert_eq!(id.transform(&s), s);
+    }
+}

@@ -1,0 +1,93 @@
+use scnn_bitstream::{BitStream, Error};
+
+/// The unipolar stochastic multiplier: a single AND gate (Fig. 1a).
+///
+/// For *uncorrelated* inputs, `p_Z = p_X · p_W`. The whole point of the
+/// paper's Table 1 is that real number generators are never perfectly
+/// uncorrelated, and the residual correlation is the dominant error source.
+///
+/// This is a zero-state combinational element, so the struct is a unit
+/// marker offering the two evaluation styles (stream or count-only).
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::Multiplier;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = BitStream::parse("1101")?;
+/// let w = BitStream::parse("1011")?;
+/// assert_eq!(Multiplier.multiply(&x, &w)?.to_string(), "1001");
+/// assert_eq!(Multiplier.multiply_count(&x, &w)?, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Multiplier;
+
+impl Multiplier {
+    /// Produces the product stream `X AND W`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn multiply(self, x: &BitStream, w: &BitStream) -> Result<BitStream, Error> {
+        x.checked_and(w)
+    }
+
+    /// Returns only the product stream's 1-count (cheaper: packed popcount,
+    /// no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the lengths differ.
+    pub fn multiply_count(self, x: &BitStream, w: &BitStream) -> Result<u64, Error> {
+        x.and_count(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_bitstream::Precision;
+    use scnn_rng::{Sng, Sobol2, VanDerCorput};
+
+    #[test]
+    fn multiply_is_and() {
+        let x = BitStream::parse("110011").unwrap();
+        let w = BitStream::parse("101010").unwrap();
+        let z = Multiplier.multiply(&x, &w).unwrap();
+        assert_eq!(z.to_string(), "100010");
+        assert_eq!(Multiplier.multiply_count(&x, &w).unwrap(), z.count_ones());
+    }
+
+    #[test]
+    fn multiply_by_one_and_zero() {
+        let x = BitStream::parse("10110").unwrap();
+        let ones = BitStream::ones(5);
+        let zeros = BitStream::zeros(5);
+        assert_eq!(Multiplier.multiply(&x, &ones).unwrap(), x);
+        assert_eq!(Multiplier.multiply_count(&x, &zeros).unwrap(), 0);
+    }
+
+    #[test]
+    fn low_discrepancy_product_is_accurate() {
+        // 0.5 × 0.5 with Sobol'-pair SNGs at 8 bits: error well below 2 LSB.
+        let p = Precision::new(8).unwrap();
+        let mut sx = Sng::new(VanDerCorput::new(8).unwrap());
+        let mut sw = Sng::new(Sobol2::new(8).unwrap());
+        let x = sx.generate_level(128, p.stream_len());
+        let w = sw.generate_level(128, p.stream_len());
+        let count = Multiplier.multiply_count(&x, &w).unwrap();
+        assert!((count as i64 - 64).abs() <= 2, "count = {count}");
+    }
+
+    #[test]
+    fn length_mismatch() {
+        let x = BitStream::zeros(4);
+        let w = BitStream::zeros(5);
+        assert!(Multiplier.multiply(&x, &w).is_err());
+        assert!(Multiplier.multiply_count(&x, &w).is_err());
+    }
+}

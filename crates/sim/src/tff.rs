@@ -1,0 +1,173 @@
+use scnn_bitstream::BitStream;
+
+/// A toggle flip-flop: a one-bit state element that inverts its output on
+/// every clock edge where its input is `1`.
+///
+/// The paper's key observation (§III) is that a TFF driven by a bit-stream
+/// emits a stream that is *always uncorrelated with its input in the SC
+/// sense* — its output 1-count is exactly half the input 1-count (rounded by
+/// the initial state) regardless of the input's auto-correlation. That makes
+/// it a free, robust source of the `1/2` constant that scaled addition
+/// needs.
+///
+/// # Example
+///
+/// ```
+/// use scnn_sim::TFlipFlop;
+///
+/// let mut tff = TFlipFlop::new(false);
+/// assert!(!tff.output());
+/// tff.clock(true); // toggles
+/// assert!(tff.output());
+/// tff.clock(false); // holds
+/// assert!(tff.output());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TFlipFlop {
+    state: bool,
+}
+
+impl TFlipFlop {
+    /// Creates a TFF with the given initial state `S0`.
+    ///
+    /// `S0` determines the rounding direction of circuits built from the
+    /// TFF: `false` rounds down, `true` rounds up (paper Fig. 2c).
+    pub fn new(initial_state: bool) -> Self {
+        Self { state: initial_state }
+    }
+
+    /// The current output `Q`.
+    #[inline]
+    pub fn output(self) -> bool {
+        self.state
+    }
+
+    /// Applies one clock cycle with input `t`; toggles when `t` is `1`.
+    #[inline]
+    pub fn clock(&mut self, t: bool) {
+        self.state ^= t;
+    }
+
+    /// Emits the current output, then clocks with input `t` — the
+    /// read-then-toggle sequence used by the [`TffAdder`](crate::TffAdder).
+    #[inline]
+    pub fn emit_and_clock(&mut self, t: bool) -> bool {
+        let q = self.state;
+        self.state ^= t;
+        q
+    }
+}
+
+/// The `p_C = p_A / 2` circuit of Fig. 2a: a TFF fed by the input stream,
+/// whose output gates the same stream through an AND.
+///
+/// Every `1` of the input alternately passes and is blocked, so the output
+/// count is exactly `⌊ones(A)/2⌋` (initial state `0`) or `⌈ones(A)/2⌉`
+/// (initial state `1`) — no auxiliary random source, no correlation
+/// constraint on the input.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bitstream::BitStream;
+/// use scnn_sim::TffHalver;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = BitStream::parse("1111 1100")?; // 6/8
+/// let c = TffHalver::new(false).halve(&a);
+/// assert_eq!(c.count_ones(), 3); // 3/8 = (6/8)/2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TffHalver {
+    initial_state: bool,
+}
+
+impl TffHalver {
+    /// Creates a halver whose TFF starts at `initial_state`.
+    pub fn new(initial_state: bool) -> Self {
+        Self { initial_state }
+    }
+
+    /// Produces the halved stream: bit `t` is `a_t AND q_t`, with the TFF
+    /// toggling on every `a_t = 1`.
+    pub fn halve(&self, a: &BitStream) -> BitStream {
+        let mut tff = TFlipFlop::new(self.initial_state);
+        BitStream::from_fn(a.len(), |i| {
+            let bit = a.get(i).expect("index < len");
+            bit & tff.emit_and_clock(bit)
+        })
+    }
+
+    /// The output 1-count without materializing the stream:
+    /// `⌊ones/2⌋` or `⌈ones/2⌉` depending on the initial state.
+    pub fn halve_count(&self, ones: u64) -> u64 {
+        if self.initial_state {
+            ones.div_ceil(2)
+        } else {
+            ones / 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tff_toggles_only_on_one() {
+        let mut tff = TFlipFlop::new(false);
+        let inputs = [true, false, true, true, false];
+        let expected_states = [true, true, false, true, true];
+        for (i, (&t, &e)) in inputs.iter().zip(&expected_states).enumerate() {
+            tff.clock(t);
+            assert_eq!(tff.output(), e, "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn emit_and_clock_reads_before_toggling() {
+        let mut tff = TFlipFlop::new(false);
+        assert!(!tff.emit_and_clock(true)); // reads 0, then toggles to 1
+        assert!(tff.emit_and_clock(true)); // reads 1, then toggles to 0
+        assert!(!tff.output());
+    }
+
+    #[test]
+    fn halver_floor_and_ceil() {
+        let a = BitStream::parse("10101").unwrap(); // 3 ones
+        assert_eq!(TffHalver::new(false).halve(&a).count_ones(), 1); // floor(3/2)
+        assert_eq!(TffHalver::new(true).halve(&a).count_ones(), 2); // ceil(3/2)
+    }
+
+    #[test]
+    fn halver_count_matches_stream_for_many_patterns() {
+        for pattern in 0u32..256 {
+            let a = BitStream::from_fn(8, |i| pattern >> i & 1 == 1);
+            for s0 in [false, true] {
+                let h = TffHalver::new(s0);
+                assert_eq!(
+                    h.halve(&a).count_ones(),
+                    h.halve_count(a.count_ones()),
+                    "pattern {pattern:08b} s0={s0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halver_insensitive_to_autocorrelation() {
+        // Same value, maximally different orderings: identical output count.
+        let thermometer = BitStream::parse("1111_0000").unwrap();
+        let alternating = BitStream::parse("1010_1010").unwrap();
+        let h = TffHalver::new(false);
+        assert_eq!(h.halve(&thermometer).count_ones(), h.halve(&alternating).count_ones());
+    }
+
+    #[test]
+    fn default_is_zero_state() {
+        assert!(!TFlipFlop::default().output());
+        assert_eq!(TffHalver::default(), TffHalver::new(false));
+    }
+}

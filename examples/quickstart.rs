@@ -1,0 +1,62 @@
+//! Quickstart: the stochastic computing primitives from the paper's
+//! Figs. 1 and 2, in a few lines each.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scnn::bitstream::{BitStream, Precision, Unipolar};
+use scnn::rng::{Ramp, Sng, Sobol2};
+use scnn::sim::{Multiplier, MuxAdder, TffAdder, TffHalver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== stochastic numbers (Fig. 1) ==");
+    // A bit-stream encodes a probability: 001011 ↦ 3/6 = 0.5.
+    let x = BitStream::parse("001011")?;
+    println!("X = {x}  encodes p = {}", x.unipolar());
+
+    // Multiplication is a single AND gate (uncorrelated inputs).
+    let precision = Precision::new(8)?; // N = 256 stream bits
+    let mut x_sng = Sng::new(Ramp::new(8)?);
+    let mut w_sng = Sng::new(Sobol2::new(8)?);
+    let a = x_sng.generate_unipolar(Unipolar::new(0.75)?, precision);
+    let b = w_sng.generate_unipolar(Unipolar::new(0.5)?, precision);
+    let product = Multiplier.multiply(&a, &b)?;
+    println!(
+        "0.75 × 0.5 = {:.4} (exact 0.375) — one AND gate, {} cycles",
+        product.unipolar(),
+        precision.stream_len()
+    );
+
+    println!("\n== the conventional MUX adder discards bits (Fig. 1b) ==");
+    let select = BitStream::from_fn(precision.stream_len(), |i| i % 2 == 0);
+    let mux_sum = MuxAdder.add(&a, &b, &select)?;
+    println!("(0.75 + 0.5)/2 via MUX  = {:.4} (exact 0.625)", mux_sum.unipolar());
+
+    println!("\n== the paper's TFF adder is exact (Fig. 2b) ==");
+    let tff_sum = TffAdder::new(false).add(&a, &b)?;
+    println!("(0.75 + 0.5)/2 via TFF  = {:.4} (exact 0.625)", tff_sum.unipolar());
+
+    // The worked example from the paper, bit for bit.
+    let x = BitStream::parse("0110 0011 0101 0111 1000")?; // 1/2
+    let y = BitStream::parse("1011 1111 0101 0111 1111")?; // 4/5
+    let z = TffAdder::new(false).add(&x, &y)?;
+    println!("paper example: Z = {z} = {}/20 (expected 13/20)", z.count_ones());
+
+    println!("\n== the p/2 halver needs no random source (Fig. 2a) ==");
+    let a = BitStream::parse("1111 1100")?; // 6/8
+    let halved = TffHalver::new(false).halve(&a);
+    println!("(6/8)/2 = {}/8", halved.count_ones());
+
+    println!("\n== and it tolerates auto-correlated (ramp-converted) inputs ==");
+    let thermometer = BitStream::parse("1111 1000")?; // same 5/8, worst-case ordering
+    let shuffled = BitStream::parse("1011 0101")?; // 5/8 again
+    let t1 = TffAdder::new(false).add(&thermometer, &BitStream::zeros(8))?;
+    let t2 = TffAdder::new(false).add(&shuffled, &BitStream::zeros(8))?;
+    println!(
+        "halving 5/8 as thermometer: {}/8, as shuffled: {}/8 — identical",
+        t1.count_ones(),
+        t2.count_ones()
+    );
+    Ok(())
+}

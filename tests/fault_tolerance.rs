@@ -1,0 +1,52 @@
+//! Integration test for the §I fault-tolerance claim: stochastic streams
+//! degrade gracefully under bit flips (each flip perturbs a value by
+//! exactly 1/N), so the hybrid classifier survives substantial stream
+//! noise, unlike a binary word where one MSB flip halves the range.
+
+use scnn::bitstream::{BitStream, Precision};
+use scnn::core::{train_base, HybridLenet, ScOptions, StochasticConvLayer, TrainConfig};
+use scnn::nn::data::synthetic;
+use scnn::sim::fault::{inject_exact_flips, max_value_perturbation};
+
+#[test]
+fn stream_value_perturbation_is_linear_in_flips() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let original = BitStream::from_fn(256, |i| i % 5 < 2);
+    let v0 = original.unipolar().get();
+    for flips in [1usize, 8, 32] {
+        let mut s = original.clone();
+        inject_exact_flips(&mut s, flips, &mut rng);
+        let dv = (s.unipolar().get() - v0).abs();
+        assert!(dv <= max_value_perturbation(flips, 256) + 1e-12);
+    }
+}
+
+#[test]
+fn hybrid_classifier_survives_stream_bit_errors() {
+    let train = synthetic::generate(300, 21);
+    let test = synthetic::generate(60, 22);
+    let base =
+        train_base(&train, &test, &TrainConfig { epochs: 2, ..TrainConfig::default() })
+            .expect("base");
+    let precision = Precision::new(6).expect("valid");
+
+    let accuracy_at = |ber: f64| {
+        let options = ScOptions { bit_error_rate: ber, ..ScOptions::this_work() };
+        let engine =
+            StochasticConvLayer::from_conv(base.conv1(), precision, options).expect("engine");
+        let mut hybrid = HybridLenet::new(Box::new(engine), base.tail_clone());
+        hybrid.evaluate(&test, 64).expect("evaluate").accuracy
+    };
+
+    let clean = accuracy_at(0.0);
+    let noisy = accuracy_at(0.01); // 1% of all stream bits flipped
+    // Graceful degradation: a 1% bit-error rate must not collapse accuracy.
+    assert!(
+        noisy >= clean - 0.15,
+        "1% BER dropped accuracy from {clean:.3} to {noisy:.3}"
+    );
+    // And heavy noise should hurt more than light noise (sanity direction).
+    let heavy = accuracy_at(0.2);
+    assert!(heavy <= noisy + 0.05, "heavy noise {heavy:.3} vs light {noisy:.3}");
+}
