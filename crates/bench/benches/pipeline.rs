@@ -23,17 +23,13 @@ fn bench_first_layers(c: &mut Criterion) {
         let precision = Precision::new(bits).expect("valid");
         let tff = StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work())
             .expect("engine");
-        group.bench_with_input(
-            BenchmarkId::new("this_work", bits),
-            &tff,
-            |b, engine| b.iter(|| engine.forward_image(black_box(&image)).expect("forward")),
-        );
+        group.bench_with_input(BenchmarkId::new("this_work", bits), &tff, |b, engine| {
+            b.iter(|| engine.forward_image(black_box(&image)).expect("forward"))
+        });
         let binary = BinaryConvLayer::from_conv(&conv, precision, 0.0).expect("engine");
-        group.bench_with_input(
-            BenchmarkId::new("binary", bits),
-            &binary,
-            |b, engine| b.iter(|| engine.forward_image(black_box(&image)).expect("forward")),
-        );
+        group.bench_with_input(BenchmarkId::new("binary", bits), &binary, |b, engine| {
+            b.iter(|| engine.forward_image(black_box(&image)).expect("forward"))
+        });
     }
     // The old-SC MUX engine is the slowest to simulate; one point suffices.
     let old = StochasticConvLayer::from_conv(

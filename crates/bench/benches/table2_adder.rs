@@ -19,8 +19,7 @@ fn bench_adder_ops(c: &mut Criterion) {
     });
     group.bench_function("tff_count_closed_form", |b| {
         b.iter(|| {
-            TffAdder::new(false)
-                .add_count(black_box(x.count_ones()), black_box(y.count_ones()))
+            TffAdder::new(false).add_count(black_box(x.count_ones()), black_box(y.count_ones()))
         })
     });
     group.bench_function("mux", |b| {

@@ -61,8 +61,7 @@ fn chain_rmse(precision: Precision, depth: usize, trials: u64) -> (f64, f64) {
             exact = (exact + v) / 2.0;
             let select = select_stream(precision, stage, trial);
             mux_stream = MuxAdder.add(&mux_stream, &fresh, &select).expect("lengths");
-            tff_stream =
-                TffAdder::new(stage % 2 == 1).add(&tff_stream, &fresh).expect("lengths");
+            tff_stream = TffAdder::new(stage % 2 == 1).add(&tff_stream, &fresh).expect("lengths");
         }
         mux_total += (mux_stream.count_ones() as f64 / n - exact).powi(2);
         tff_total += (tff_stream.count_ones() as f64 / n - exact).powi(2);

@@ -65,9 +65,7 @@ fn binary_accuracy(net: &Network, test: &scnn_nn::data::Dataset, bits: u32) -> f
     let mut correct = 0usize;
     for i in 0..test.len() {
         let x = Tensor::from_vec(test.item(i).to_vec(), &[1, 784]).expect("shape");
-        let h = sign
-            .forward(&l1.forward(&x, false).expect("forward"), false)
-            .expect("forward");
+        let h = sign.forward(&l1.forward(&x, false).expect("forward"), false).expect("forward");
         let logits = l2.forward(&h, false).expect("forward");
         let pred = argmax(logits.data());
         correct += usize::from(pred == usize::from(test.label(i)));
@@ -84,18 +82,28 @@ fn stochastic_accuracy(
     sc_layer2: bool,
 ) -> f64 {
     let precision = Precision::new(bits).expect("valid");
-    let l1 = StochasticDenseLayer::from_dense(&dense_at(net, 1), precision, DenseInput::Unipolar, 1)
-        .expect("engine");
-    let l2_float = dense_at(net, 3);
-    let l2_sc =
-        StochasticDenseLayer::from_dense(&l2_float, precision, DenseInput::Ternary, 2)
+    let l1 =
+        StochasticDenseLayer::from_dense(&dense_at(net, 1), precision, DenseInput::Unipolar, 1)
             .expect("engine");
+    let l2_float = dense_at(net, 3);
+    let l2_sc = StochasticDenseLayer::from_dense(&l2_float, precision, DenseInput::Ternary, 2)
+        .expect("engine");
     let mut l2_float = l2_float;
     let mut correct = 0usize;
     for i in 0..test.len() {
         let hidden_raw = l1.forward(test.item(i)).expect("layer 1");
-        let hidden: Vec<f32> =
-            hidden_raw.iter().map(|&v| if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 }).collect();
+        let hidden: Vec<f32> = hidden_raw
+            .iter()
+            .map(|&v| {
+                if v > 0.0 {
+                    1.0
+                } else if v < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let logits: Vec<f32> = if sc_layer2 {
             l2_sc.forward(&hidden).expect("layer 2")
         } else {

@@ -50,11 +50,7 @@ fn mismatch_rate(
     for img in images {
         let reference = reference_engine.forward_image(img).expect("forward");
         let got = engine.forward_image(img).expect("forward");
-        mismatches += got
-            .iter()
-            .zip(&reference)
-            .filter(|(a, b)| (*a - *b).abs() > 0.5)
-            .count();
+        mismatches += got.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() > 0.5).count();
         total += got.len();
     }
     mismatches as f64 / total as f64
@@ -67,9 +63,24 @@ fn main() {
 
     let pairings = [
         ("TFF tree, LFSR + LFSR", SourceKind::Lfsr, SourceKind::Lfsr, ScOptions::this_work()),
-        ("TFF tree, random + random", SourceKind::Random, SourceKind::Random, ScOptions::this_work()),
-        ("TFF tree, VDC + Sobol'", SourceKind::VanDerCorput, SourceKind::Sobol2, ScOptions::this_work()),
-        ("TFF tree, ramp + Sobol' (this work)", SourceKind::Ramp, SourceKind::Sobol2, ScOptions::this_work()),
+        (
+            "TFF tree, random + random",
+            SourceKind::Random,
+            SourceKind::Random,
+            ScOptions::this_work(),
+        ),
+        (
+            "TFF tree, VDC + Sobol'",
+            SourceKind::VanDerCorput,
+            SourceKind::Sobol2,
+            ScOptions::this_work(),
+        ),
+        (
+            "TFF tree, ramp + Sobol' (this work)",
+            SourceKind::Ramp,
+            SourceKind::Sobol2,
+            ScOptions::this_work(),
+        ),
         ("MUX tree, LFSR + LFSR (old SC)", SourceKind::Lfsr, SourceKind::Lfsr, ScOptions::old_sc()),
         ("MUX tree, ramp + Sobol'", SourceKind::Ramp, SourceKind::Sobol2, ScOptions::old_sc()),
     ];

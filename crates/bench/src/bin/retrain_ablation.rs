@@ -28,8 +28,9 @@ fn main() {
         for (name, engine) in [
             (
                 "binary",
-                Box::new(BinaryConvLayer::from_conv(bench.base.conv1(), precision, 0.0).expect("engine"))
-                    as Box<dyn scnn_core::FirstLayer>,
+                Box::new(
+                    BinaryConvLayer::from_conv(bench.base.conv1(), precision, 0.0).expect("engine"),
+                ) as Box<dyn scnn_core::FirstLayer>,
             ),
             (
                 "this-work",
@@ -45,14 +46,9 @@ fn main() {
         ] {
             let _ = name;
             let label = engine.label();
-            let (_, report) = retrain(
-                engine,
-                bench.base.tail_clone(),
-                &bench.train,
-                &bench.test,
-                &retrain_cfg,
-            )
-            .expect("retrain");
+            let (_, report) =
+                retrain(engine, bench.base.tail_clone(), &bench.train, &bench.test, &retrain_cfg)
+                    .expect("retrain");
             table.row(vec![
                 label,
                 pct(report.before.misclassification_rate()),
@@ -62,7 +58,11 @@ fn main() {
         }
     }
     println!("\n# Retraining ablation (§V-B)\n");
-    println!("data source: {}; base model: {}\n", bench.source, pct(bench.base.evaluation.misclassification_rate()));
+    println!(
+        "data source: {}; base model: {}\n",
+        bench.source,
+        pct(bench.base.evaluation.misclassification_rate())
+    );
     println!("{}", table.render());
     println!("(paper: binary @4-bit reaches 6.85% without retraining, 0.79% with)");
 }

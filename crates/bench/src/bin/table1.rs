@@ -37,13 +37,7 @@ fn main() {
         let r8 = multiplier_sweep(scheme, p8, seed).expect("sweep");
         let r4 = multiplier_sweep(scheme, p4, seed).expect("sweep");
         let (ref8, ref4) = paper_reference(scheme);
-        table.row(vec![
-            scheme.label().into(),
-            sci(r8.mse),
-            sci(ref8),
-            sci(r4.mse),
-            sci(ref4),
-        ]);
+        table.row(vec![scheme.label().into(), sci(r8.mse), sci(ref8), sci(r4.mse), sci(ref4)]);
     }
     println!("# Table 1 — MSE of stochastic multiplier for different RNG methods\n");
     println!("{}", table.render());

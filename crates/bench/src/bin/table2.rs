@@ -37,13 +37,7 @@ fn main() {
         let r8 = adder_sweep(scheme, p8, seed).expect("sweep");
         let r4 = adder_sweep(scheme, p4, seed).expect("sweep");
         let (ref8, ref4) = paper_reference(scheme);
-        table.row(vec![
-            scheme.label().into(),
-            sci(r8.mse),
-            sci(ref8),
-            sci(r4.mse),
-            sci(ref4),
-        ]);
+        table.row(vec![scheme.label().into(), sci(r8.mse), sci(ref8), sci(r4.mse), sci(ref4)]);
     }
     println!("# Table 2 — MSE of stochastic addition for different SNG methods\n");
     println!("{}", table.render());

@@ -16,7 +16,9 @@
 use scnn_bench::report::{pct, Table};
 use scnn_bench::setup::{prepare, Effort};
 use scnn_bitstream::Precision;
-use scnn_core::{retrain, BinaryConvLayer, FirstLayer, RetrainConfig, ScOptions, StochasticConvLayer};
+use scnn_core::{
+    retrain, BinaryConvLayer, FirstLayer, RetrainConfig, ScOptions, StochasticConvLayer,
+};
 
 /// Paper Table 3 misclassification reference (percent) per design row,
 /// bits 8..=2 in descending order.
@@ -51,8 +53,7 @@ fn main() {
         for &precision in &precisions {
             let engine: Box<dyn FirstLayer> = match design {
                 "Binary" => Box::new(
-                    BinaryConvLayer::from_conv(bench.base.conv1(), precision, 0.0)
-                        .expect("engine"),
+                    BinaryConvLayer::from_conv(bench.base.conv1(), precision, 0.0).expect("engine"),
                 ),
                 "Old SC" => Box::new(
                     StochasticConvLayer::from_conv(
@@ -72,14 +73,9 @@ fn main() {
                 ),
             };
             let label = engine.label();
-            let (_, report) = retrain(
-                engine,
-                bench.base.tail_clone(),
-                &bench.train,
-                &bench.test,
-                &retrain_cfg,
-            )
-            .expect("retraining failed");
+            let (_, report) =
+                retrain(engine, bench.base.tail_clone(), &bench.train, &bench.test, &retrain_cfg)
+                    .expect("retraining failed");
             eprintln!(
                 "[table3] {label}: {} → {} after retraining",
                 pct(report.before.misclassification_rate()),
@@ -95,7 +91,8 @@ fn main() {
     }
 
     println!("\n# Table 3 (accuracy) — misclassification rates after retraining\n");
-    println!("data source: {}; {} train / {} test; float base model: {}",
+    println!(
+        "data source: {}; {} train / {} test; float base model: {}",
         bench.source,
         bench.train.len(),
         bench.test.len(),

@@ -44,11 +44,8 @@ impl Table {
             }
         }
         let fmt_row = |cells: &[String]| {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}", w = w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
             format!("| {} |", padded.join(" | "))
         };
         let mut out = String::new();

@@ -4,30 +4,49 @@ use scnn_core::{train_base, BaseModel, TrainConfig};
 use scnn_nn::data::{load_or_synthesize, DataSource, Dataset};
 use std::path::Path;
 
-/// Harness effort level, selected with `--full` on the command line.
+/// Harness effort level, selected with `--full` / `--smoke` on the command
+/// line or `SCNN_EFFORT={smoke,quick,full}` in the environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {
-    /// Small subsets and few epochs — minutes, suitable for CI and the
-    /// recorded `EXPERIMENTS.md` runs.
+    /// Tiny subsets and single epochs — seconds; the CI bench-smoke gate
+    /// runs every table/ablation binary at this level so the
+    /// paper-reproduction entry points cannot silently rot.
+    Smoke,
+    /// Small subsets and few epochs — minutes, suitable for local runs and
+    /// the recorded `EXPERIMENTS.md` tables.
     Quick,
     /// Larger subsets — closer to the paper's full 60k/10k protocol.
     Full,
 }
 
 impl Effort {
-    /// Parses the effort level from process arguments (`--full` enables
-    /// [`Effort::Full`]).
+    /// Parses the effort level from process arguments (`--full`, `--smoke`)
+    /// or the `SCNN_EFFORT` environment variable; arguments win.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--full") {
-            Effort::Full
-        } else {
-            Effort::Quick
+        Self::from_parts(std::env::args(), std::env::var("SCNN_EFFORT").ok().as_deref())
+    }
+
+    /// Pure parsing core behind [`Effort::from_args`], testable without
+    /// touching the real process environment.
+    pub fn from_parts(args: impl Iterator<Item = String>, env: Option<&str>) -> Self {
+        let args: Vec<String> = args.collect();
+        if args.iter().any(|a| a == "--full") {
+            return Effort::Full;
+        }
+        if args.iter().any(|a| a == "--smoke") {
+            return Effort::Smoke;
+        }
+        match env {
+            Some("smoke") => Effort::Smoke,
+            Some("full") => Effort::Full,
+            _ => Effort::Quick,
         }
     }
 
     /// Training-set size.
     pub fn train_size(self) -> usize {
         match self {
+            Effort::Smoke => 200,
             Effort::Quick => 1200,
             Effort::Full => 8000,
         }
@@ -36,6 +55,7 @@ impl Effort {
     /// Test-set size.
     pub fn test_size(self) -> usize {
         match self {
+            Effort::Smoke => 80,
             Effort::Quick => 400,
             Effort::Full => 2000,
         }
@@ -44,6 +64,7 @@ impl Effort {
     /// Base-model training epochs.
     pub fn base_epochs(self) -> usize {
         match self {
+            Effort::Smoke => 1,
             Effort::Quick => 3,
             Effort::Full => 6,
         }
@@ -52,6 +73,7 @@ impl Effort {
     /// Tail-retraining epochs.
     pub fn retrain_epochs(self) -> usize {
         match self {
+            Effort::Smoke => 1,
             Effort::Quick => 2,
             Effort::Full => 4,
         }
@@ -88,11 +110,7 @@ pub fn prepare(effort: Effort) -> Workbench {
         20170327, // DATE 2017 conference date
     )
     .expect("dataset preparation failed");
-    eprintln!(
-        "[setup] data source: {source}, {} train / {} test images",
-        train.len(),
-        test.len()
-    );
+    eprintln!("[setup] data source: {source}, {} train / {} test images", train.len(), test.len());
     let config = TrainConfig { epochs: effort.base_epochs(), ..TrainConfig::default() };
     let cache = Path::new("target/scnn-cache").join(format!("base-{source}-{effort:?}.bin"));
     if let Ok(Some(base)) = BaseModel::load(&cache, &config) {
@@ -127,7 +145,17 @@ mod tests {
     }
 
     #[test]
-    fn from_args_defaults_to_quick() {
-        assert_eq!(Effort::from_args(), Effort::Quick);
+    fn from_parts_parses_flags_and_env() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Effort::from_parts(args(&["bin"]).into_iter(), None), Effort::Quick);
+        assert_eq!(Effort::from_parts(args(&["bin", "--smoke"]).into_iter(), None), Effort::Smoke);
+        assert_eq!(Effort::from_parts(args(&["bin", "--full"]).into_iter(), None), Effort::Full);
+        // Arguments beat the environment; unknown env values fall back.
+        assert_eq!(
+            Effort::from_parts(args(&["bin", "--full"]).into_iter(), Some("smoke")),
+            Effort::Full
+        );
+        assert_eq!(Effort::from_parts(args(&["bin"]).into_iter(), Some("smoke")), Effort::Smoke);
+        assert_eq!(Effort::from_parts(args(&["bin"]).into_iter(), Some("banana")), Effort::Quick);
     }
 }

@@ -245,10 +245,7 @@ impl BitStream {
     /// Bitwise NOT — computes `1 − p` in the unipolar domain (and `−v` in
     /// the bipolar domain).
     pub fn not(&self) -> Self {
-        let mut out = Self {
-            words: self.words.iter().map(|w| !w).collect(),
-            len: self.len,
-        };
+        let mut out = Self { words: self.words.iter().map(|w| !w).collect(), len: self.len };
         out.mask_tail();
         out
     }
@@ -263,12 +260,7 @@ impl BitStream {
         if self.len != other.len {
             return Err(Error::LengthMismatch { left: self.len, right: other.len });
         }
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| u64::from((a & b).count_ones()))
-            .sum())
+        Ok(self.words.iter().zip(&other.words).map(|(a, b)| u64::from((a & b).count_ones())).sum())
     }
 
     /// The overlap-free correlation (SCC-style numerator) helper:
@@ -281,12 +273,8 @@ impl BitStream {
         if self.len != other.len {
             return Err(Error::LengthMismatch { left: self.len, right: other.len });
         }
-        let n11: u64 = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| u64::from((a & b).count_ones()))
-            .sum();
+        let n11: u64 =
+            self.words.iter().zip(&other.words).map(|(a, b)| u64::from((a & b).count_ones())).sum();
         let n10 = self.count_ones() - n11;
         let n01 = other.count_ones() - n11;
         let n00 = self.len as u64 - n11 - n10 - n01;

@@ -70,13 +70,7 @@ impl KernelBank {
         let ksize = conv.kernel();
         let mut weights = conv.weights().data().to_vec();
         let scales = scale_kernels(&mut weights, ksize * ksize);
-        let offsets = conv
-            .bias()
-            .data()
-            .iter()
-            .zip(&scales)
-            .map(|(&b, &s)| b / s)
-            .collect();
+        let offsets = conv.bias().data().iter().zip(&scales).map(|(&b, &s)| b / s).collect();
         Ok(Self { kernels, ksize, weights, scales, offsets })
     }
 
@@ -256,8 +250,7 @@ impl FirstLayer for BinaryConvLayer {
         let bits = self.precision.bits();
         let denom = (1u64 << bits) as f32;
         // Quantize the image once (the sensor-side ADC).
-        let pixels: Vec<f32> =
-            image.iter().map(|&p| pixel_level(p, bits) as f32 / denom).collect();
+        let pixels: Vec<f32> = image.iter().map(|&p| pixel_level(p, bits) as f32 / denom).collect();
         let mut out = vec![0.0f32; self.bank.kernels * n];
         let ksq = self.bank.ksize * self.bank.ksize;
         for k in 0..self.bank.kernels {
@@ -353,9 +346,7 @@ mod tests {
         let conv = Conv2d::new(1, 32, 5, Padding::Same, 2).unwrap();
         for layer in [
             Box::new(FloatConvLayer::from_conv(&conv, 0.1).unwrap()) as Box<dyn FirstLayer>,
-            Box::new(
-                BinaryConvLayer::from_conv(&conv, Precision::new(4).unwrap(), 0.1).unwrap(),
-            ),
+            Box::new(BinaryConvLayer::from_conv(&conv, Precision::new(4).unwrap(), 0.1).unwrap()),
         ] {
             let out = layer.forward_image(&test_image(1)).unwrap();
             assert_eq!(out.len(), 32 * 784);

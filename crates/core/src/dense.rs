@@ -96,16 +96,9 @@ impl StochasticDenseLayer {
             }
         }
         let scales = scale_kernels(&mut per_neuron, in_features);
-        let offsets = dense
-            .bias()
-            .data()
-            .iter()
-            .zip(&scales)
-            .map(|(&b, &s)| b / s)
-            .collect();
+        let offsets = dense.bias().data().iter().zip(&scales).map(|(&b, &s)| b / s).collect();
         // Shared weight SNG bank.
-        let weight_seq =
-            crate::SourceKind::Sobol2.sequence(bits, n, seed ^ 0x77_5eed)?;
+        let weight_seq = crate::SourceKind::Sobol2.sequence(bits, n, seed ^ 0x77_5eed)?;
         let mut weight_streams = StreamArena::new(in_features * out_features, n)?;
         let mut weight_counts = vec![0u64; in_features * out_features];
         let mut weight_neg = vec![false; in_features * out_features];
@@ -270,8 +263,7 @@ mod tests {
         let precision = Precision::new(8).unwrap();
         let layer =
             StochasticDenseLayer::from_dense(&dense, precision, DenseInput::Ternary, 1).unwrap();
-        let input: Vec<f32> =
-            (0..16).map(|i| [1.0f32, -1.0, 0.0, 1.0][i % 4]).collect();
+        let input: Vec<f32> = (0..16).map(|i| [1.0f32, -1.0, 0.0, 1.0][i % 4]).collect();
         let got = layer.forward(&input).unwrap();
         let want = reference_forward(&dense, &input);
         for (j, (g, w)) in got.iter().zip(&want).enumerate() {

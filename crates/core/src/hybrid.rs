@@ -123,19 +123,13 @@ mod tests {
     use super::*;
     use crate::baseline::FloatConvLayer;
     use scnn_nn::data::synthetic;
-    use scnn_nn::lenet::{lenet5_head, lenet5_tail, LenetConfig};
     use scnn_nn::layers::Conv2d;
+    use scnn_nn::lenet::{lenet5_head, lenet5_tail, LenetConfig};
 
     fn make_hybrid() -> HybridLenet {
         let cfg = LenetConfig::default();
         let head_net = lenet5_head(&cfg).unwrap();
-        let conv = head_net
-            .layer(0)
-            .unwrap()
-            .as_any()
-            .downcast_ref::<Conv2d>()
-            .unwrap()
-            .clone();
+        let conv = head_net.layer(0).unwrap().as_any().downcast_ref::<Conv2d>().unwrap().clone();
         let engine = FloatConvLayer::from_conv(&conv, 0.0).unwrap();
         HybridLenet::new(Box::new(engine), lenet5_tail(&cfg).unwrap())
     }
@@ -175,10 +169,7 @@ mod tests {
         assert!(hybrid.tail().summary().contains("dense"));
         let _ = hybrid.tail_mut();
         let cfg = LenetConfig::default();
-        let conv = lenet5_head(&cfg)
-            .unwrap()
-            .into_layers()
-            .remove(0);
+        let conv = lenet5_head(&cfg).unwrap().into_layers().remove(0);
         let conv = conv.as_any().downcast_ref::<Conv2d>().unwrap().clone();
         hybrid.set_head(Box::new(FloatConvLayer::from_conv(&conv, 0.5).unwrap()));
         assert_eq!(hybrid.head_label(), "float");

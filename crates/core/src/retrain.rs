@@ -85,8 +85,7 @@ impl BaseModel {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent).map_err(|e| Error::config(e.to_string()))?;
         }
-        let file =
-            std::fs::File::create(path).map_err(|e| Error::config(e.to_string()))?;
+        let file = std::fs::File::create(path).map_err(|e| Error::config(e.to_string()))?;
         let mut writer = std::io::BufWriter::new(file);
         scnn_nn::serialize::write_network(&mut self.head, &mut writer)?;
         scnn_nn::serialize::write_network(&mut self.tail, &mut writer)?;
@@ -140,7 +139,11 @@ impl BaseModel {
 /// # Errors
 ///
 /// Propagates training errors.
-pub fn train_base(train: &Dataset, test: &Dataset, config: &TrainConfig) -> Result<BaseModel, Error> {
+pub fn train_base(
+    train: &Dataset,
+    test: &Dataset,
+    config: &TrainConfig,
+) -> Result<BaseModel, Error> {
     let mut net = lenet5(&config.lenet)?;
     let mut opt = Adam::new(config.learning_rate);
     for epoch in 0..config.epochs {
@@ -304,8 +307,7 @@ mod tests {
     fn retraining_recovers_accuracy_at_low_precision() {
         let train = synthetic::generate(200, 5);
         let test = synthetic::generate(80, 6);
-        let base =
-            train_base(&train, &test, &TrainConfig { epochs: 2, ..tiny_config() }).unwrap();
+        let base = train_base(&train, &test, &TrainConfig { epochs: 2, ..tiny_config() }).unwrap();
         // 2-bit quantization hurts; retraining must claw accuracy back.
         let engine =
             BinaryConvLayer::from_conv(base.conv1(), Precision::new(2).unwrap(), 0.0).unwrap();
@@ -317,10 +319,7 @@ mod tests {
             &RetrainConfig { epochs: 2, ..RetrainConfig::default() },
         )
         .unwrap();
-        assert!(
-            report.after.accuracy >= report.before.accuracy,
-            "retraining hurt: {report:?}"
-        );
+        assert!(report.after.accuracy >= report.before.accuracy, "retraining hurt: {report:?}");
         // The returned hybrid uses the retrained tail.
         let eval = hybrid.evaluate(&test, 64).unwrap();
         assert_eq!(eval.correct, report.after.correct);

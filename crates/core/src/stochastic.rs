@@ -176,7 +176,8 @@ impl StochasticConvLayer {
 
         // Shared weight SNG bank: one sequence, one comparator per weight.
         const WEIGHT_SEED_SALT: u64 = 0x77_5eed;
-        let weight_seq = options.weight_source.sequence(bits, n, options.seed ^ WEIGHT_SEED_SALT)?;
+        let weight_seq =
+            options.weight_source.sequence(bits, n, options.seed ^ WEIGHT_SEED_SALT)?;
         let mut weight_streams = StreamArena::new(bank.kernels * ksq, n)?;
         let mut weight_neg = vec![false; bank.kernels * ksq];
         for k in 0..bank.kernels {
@@ -354,7 +355,8 @@ impl StochasticConvLayer {
             for i in 0..width / 2 {
                 let sel = self.select_streams.stream(node);
                 node += 1;
-                let (a, b) = (&cur[2 * i * w..(2 * i + 1) * w], &cur[(2 * i + 1) * w..(2 * i + 2) * w]);
+                let (a, b) =
+                    (&cur[2 * i * w..(2 * i + 1) * w], &cur[(2 * i + 1) * w..(2 * i + 2) * w]);
                 // Select 1 picks the first input, matching sim::MuxAdder's
                 // convention of select picking y when 1 — orientation is
                 // symmetric for a 1/2 select, so either is faithful.
@@ -449,9 +451,7 @@ mod tests {
     }
 
     fn test_image(seed: u64) -> Vec<f32> {
-        (0..784)
-            .map(|i| (((i as u64).wrapping_mul(seed * 7 + 3) % 251) as f32) / 250.0)
-            .collect()
+        (0..784).map(|i| (((i as u64).wrapping_mul(seed * 7 + 3) % 251) as f32) / 250.0).collect()
     }
 
     fn precision(bits: u32) -> Precision {
@@ -590,8 +590,7 @@ mod tests {
             .unwrap()
             .forward_image(&img)
             .unwrap();
-        let flipped =
-            clean.iter().zip(&noisy).filter(|(a, b)| (*a - *b).abs() > 0.5).count();
+        let flipped = clean.iter().zip(&noisy).filter(|(a, b)| (*a - *b).abs() > 0.5).count();
         // 2% stream bit errors should flip only a small fraction of the
         // ternary features — SC's graceful degradation (paper §I).
         assert!(flipped < clean.len() / 10, "{flipped} of {} features flipped", clean.len());

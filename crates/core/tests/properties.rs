@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use scnn_bitstream::Precision;
 use scnn_core::{
-    and_count, BinaryConvLayer, FirstLayer, FloatConvLayer, ScOptions, SourceKind, StreamArena,
-    StochasticConvLayer,
+    and_count, BinaryConvLayer, FirstLayer, FloatConvLayer, ScOptions, SourceKind,
+    StochasticConvLayer, StreamArena,
 };
 use scnn_nn::layers::{Conv2d, Padding};
 use scnn_sim::S0Policy;

@@ -197,7 +197,8 @@ pub fn measure_binary_activity(
         }
         ones += levels.iter().map(|l| u64::from(l.count_ones())).sum::<u64>();
     }
-    let datapath_toggle = if total == 0 { 0.25 } else { (flips as f64 / total as f64).clamp(0.02, 1.0) };
+    let datapath_toggle =
+        if total == 0 { 0.25 } else { (flips as f64 / total as f64).clamp(0.02, 1.0) };
     let pixel_count = (images * dataset.item_len()).max(1) as f64;
     let register_toggle = (ones as f64 / (pixel_count * f64::from(bits))).clamp(0.02, 1.0);
     BinaryActivity { datapath_toggle, register_toggle }

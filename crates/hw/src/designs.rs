@@ -48,11 +48,7 @@ fn counter_width(precision: Precision) -> usize {
 }
 
 /// One stochastic dot-product unit (paper Fig. 3 top).
-pub fn sc_dot_product_unit(
-    precision: Precision,
-    flavor: ScFlavor,
-    act: &ScActivity,
-) -> Netlist {
+pub fn sc_dot_product_unit(precision: Precision, flavor: ScFlavor, act: &ScActivity) -> Netlist {
     let mut nl = Netlist::new();
     // 25 AND-gate multipliers.
     nl.insert(Cell::And2, TAPS as f64, act.product_toggle);
@@ -227,8 +223,8 @@ mod tests {
         let lib = CellLibrary::default();
         let sc = sc_dot_product_unit(p(8), ScFlavor::TffAdder, &ScActivity::default())
             .dynamic_energy_per_cycle_fj(&lib);
-        let bin = binary_conv_unit(p(8), &BinaryActivity::default())
-            .dynamic_energy_per_cycle_fj(&lib);
+        let bin =
+            binary_conv_unit(p(8), &BinaryActivity::default()).dynamic_energy_per_cycle_fj(&lib);
         assert!(sc < bin, "sc {sc} fJ vs binary {bin} fJ");
     }
 }

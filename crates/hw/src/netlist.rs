@@ -64,10 +64,7 @@ impl Netlist {
 
     /// Silicon area in mm² under `lib`.
     pub fn area_mm2(&self, lib: &CellLibrary) -> f64 {
-        self.entries
-            .iter()
-            .map(|(&cell, &(count, _))| count * lib.area_um2(cell))
-            .sum::<f64>()
+        self.entries.iter().map(|(&cell, &(count, _))| count * lib.area_um2(cell)).sum::<f64>()
             / 1e6
     }
 
@@ -84,10 +81,7 @@ impl Netlist {
 
     /// Total leakage power in milliwatts.
     pub fn leakage_mw(&self, lib: &CellLibrary) -> f64 {
-        self.entries
-            .iter()
-            .map(|(&cell, &(count, _))| count * lib.leakage_nw(cell))
-            .sum::<f64>()
+        self.entries.iter().map(|(&cell, &(count, _))| count * lib.leakage_nw(cell)).sum::<f64>()
             / 1e6
     }
 }

@@ -263,7 +263,8 @@ mod tests {
 
     #[test]
     fn take_and_shuffle_preserve_pairing() {
-        let ds = Dataset::new((0..20).map(|v| v as f32).collect(), &[2], (0..10).collect()).unwrap();
+        let ds =
+            Dataset::new((0..20).map(|v| v as f32).collect(), &[2], (0..10).collect()).unwrap();
         let s = ds.shuffled(42);
         assert_eq!(s.len(), 10);
         for i in 0..10 {

@@ -53,8 +53,7 @@ fn glyph(digit: u8) -> &'static [Stroke] {
         (0.52, 0.86),
         (0.30, 0.78),
     ]];
-    const FOUR: &[Stroke] =
-        &[&[(0.62, 0.86), (0.62, 0.14), (0.26, 0.62), (0.76, 0.62)]];
+    const FOUR: &[Stroke] = &[&[(0.62, 0.86), (0.62, 0.14), (0.26, 0.62), (0.76, 0.62)]];
     const FIVE: &[Stroke] = &[&[
         (0.70, 0.14),
         (0.34, 0.14),
@@ -159,10 +158,7 @@ fn render(digit: u8, rng: &mut StdRng) -> Vec<f32> {
     let mut img = vec![0.0f32; IMAGE_SIDE * IMAGE_SIDE];
     for iy in 0..IMAGE_SIDE {
         for ix in 0..IMAGE_SIDE {
-            let p = (
-                (ix as f32 + 0.5) / IMAGE_SIDE as f32,
-                (iy as f32 + 0.5) / IMAGE_SIDE as f32,
-            );
+            let p = ((ix as f32 + 0.5) / IMAGE_SIDE as f32, (iy as f32 + 0.5) / IMAGE_SIDE as f32);
             let mut d = f32::MAX;
             for stroke in &strokes {
                 for seg in stroke.windows(2) {
@@ -263,8 +259,7 @@ mod tests {
         // Mean per-pixel difference between glyphs must exceed jitter noise.
         let a = single(0, 9);
         let b = single(1, 9);
-        let diff: f32 =
-            a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
         assert!(diff > 0.02, "digits 0 and 1 too similar: {diff}");
     }
 
@@ -295,12 +290,9 @@ mod tests {
         }
         for a in 0..10 {
             for b in (a + 1)..10 {
-                let diff: f32 = means[a]
-                    .iter()
-                    .zip(&means[b])
-                    .map(|(x, y)| (x - y).abs())
-                    .sum::<f32>()
-                    / means[a].len() as f32;
+                let diff: f32 =
+                    means[a].iter().zip(&means[b]).map(|(x, y)| (x - y).abs()).sum::<f32>()
+                        / means[a].len() as f32;
                 assert!(diff > 0.01, "classes {a} and {b} mean-diff {diff}");
             }
         }

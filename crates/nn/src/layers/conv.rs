@@ -63,7 +63,10 @@ impl Conv2d {
         seed: u64,
     ) -> Result<Self, Error> {
         if in_channels == 0 || out_channels == 0 || kernel == 0 {
-            return Err(Error::shape("non-zero conv dimensions", &[in_channels, out_channels, kernel]));
+            return Err(Error::shape(
+                "non-zero conv dimensions",
+                &[in_channels, out_channels, kernel],
+            ));
         }
         if padding == Padding::Same && kernel.is_multiple_of(2) {
             return Err(Error::shape("odd kernel for same padding", &[kernel]));
@@ -227,7 +230,10 @@ impl Layer for Conv2d {
             return Err(Error::shape("[batch, c, h, w]", input.shape()));
         };
         if c != self.in_channels {
-            return Err(Error::shape(format!("{} input channels", self.in_channels), input.shape()));
+            return Err(Error::shape(
+                format!("{} input channels", self.in_channels),
+                input.shape(),
+            ));
         }
         let (oh, ow) = self.output_size(h, w)?;
         let patch = oh * ow;
@@ -240,7 +246,8 @@ impl Layer for Conv2d {
             let img = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
             let cols = self.im2col(img, h, w, oh, ow);
             let prod = self.w.matmul(&cols)?;
-            let dst = &mut out.data_mut()[bi * self.out_channels * patch..][..self.out_channels * patch];
+            let dst =
+                &mut out.data_mut()[bi * self.out_channels * patch..][..self.out_channels * patch];
             for oc in 0..self.out_channels {
                 let bias = self.b.data()[oc];
                 let src = &prod.data()[oc * patch..(oc + 1) * patch];
@@ -284,7 +291,14 @@ impl Layer for Conv2d {
                 self.db.data_mut()[oc] += s;
             }
             let dcols = wt.matmul(&g)?;
-            self.col2im(&dcols, h, w, oh, ow, &mut dinput.data_mut()[bi * c * h * w..][..c * h * w]);
+            self.col2im(
+                &dcols,
+                h,
+                w,
+                oh,
+                ow,
+                &mut dinput.data_mut()[bi * c * h * w..][..c * h * w],
+            );
         }
         Ok(dinput)
     }
@@ -381,11 +395,8 @@ mod tests {
     #[test]
     fn gradient_check_small_conv() {
         let mut conv = Conv2d::new(1, 2, 3, Padding::Same, 11).unwrap();
-        let x = Tensor::from_vec(
-            (0..16).map(|v| (v as f32 - 8.0) / 8.0).collect(),
-            &[1, 1, 4, 4],
-        )
-        .unwrap();
+        let x = Tensor::from_vec((0..16).map(|v| (v as f32 - 8.0) / 8.0).collect(), &[1, 1, 4, 4])
+            .unwrap();
         let _ = conv.forward(&x, true).unwrap();
         let grad_out = Tensor::filled(&[1, 2, 4, 4], 1.0);
         let dx = conv.backward(&grad_out).unwrap();

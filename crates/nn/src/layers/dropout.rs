@@ -75,8 +75,7 @@ impl Layer for Dropout {
                 grad_output.shape(),
             ));
         }
-        let data =
-            grad_output.data().iter().zip(&self.mask_cache).map(|(&g, &m)| g * m).collect();
+        let data = grad_output.data().iter().zip(&self.mask_cache).map(|(&g, &m)| g * m).collect();
         Tensor::from_vec(data, grad_output.shape())
     }
 

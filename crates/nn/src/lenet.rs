@@ -170,11 +170,9 @@ mod tests {
         let mut full = lenet5(&cfg).unwrap();
         let mut head = lenet5_head(&cfg).unwrap();
         let mut tail = lenet5_tail(&cfg).unwrap();
-        let x = Tensor::from_vec(
-            (0..784).map(|v| (v % 255) as f32 / 255.0).collect(),
-            &[1, 1, 28, 28],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec((0..784).map(|v| (v % 255) as f32 / 255.0).collect(), &[1, 1, 28, 28])
+                .unwrap();
         let direct = full.forward(&x, false).unwrap();
         let staged = tail.forward(&head.forward(&x, false).unwrap(), false).unwrap();
         for (a, b) in direct.data().iter().zip(staged.data()) {
@@ -186,11 +184,9 @@ mod tests {
     fn sign_head_outputs_are_ternary() {
         let cfg = LenetConfig::default();
         let mut head = lenet5_head(&cfg).unwrap();
-        let x = Tensor::from_vec(
-            (0..784).map(|v| (v % 199) as f32 / 199.0).collect(),
-            &[1, 1, 28, 28],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec((0..784).map(|v| (v % 199) as f32 / 199.0).collect(), &[1, 1, 28, 28])
+                .unwrap();
         let f = head.forward(&x, false).unwrap();
         assert!(f.data().iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0));
     }

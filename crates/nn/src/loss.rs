@@ -88,7 +88,11 @@ mod tests {
             let (loss_p, _) = softmax_cross_entropy(&lp, &labels).unwrap();
             let (loss_m, _) = softmax_cross_entropy(&lm, &labels).unwrap();
             let num = (loss_p - loss_m) / (2.0 * eps);
-            assert!((num - grad.data()[i]).abs() < 1e-3, "grad[{i}] num {num} vs {}", grad.data()[i]);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}] num {num} vs {}",
+                grad.data()[i]
+            );
         }
     }
 

@@ -221,10 +221,7 @@ mod tests {
         let mut b = small_net(8);
         load_network(&mut b, &path).unwrap();
         let x = Tensor::filled(&[1, 4], -0.5);
-        assert_eq!(
-            a.forward(&x, false).unwrap().data(),
-            b.forward(&x, false).unwrap().data()
-        );
+        assert_eq!(a.forward(&x, false).unwrap().data(), b.forward(&x, false).unwrap().data());
         std::fs::remove_dir_all(&dir).unwrap();
         assert!(load_network(&mut small_net(0), &path).is_err());
     }

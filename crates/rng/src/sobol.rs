@@ -58,8 +58,7 @@ impl Sobol2 {
             m[k] = (2 * m[k - 1]) ^ (4 * m[k - 2]) ^ m[k - 2];
         }
         // v_i = m_i · 2^(width - i)
-        let directions =
-            (1..=width as usize).map(|i| m[i] << (width as usize - i)).collect();
+        let directions = (1..=width as usize).map(|i| m[i] << (width as usize - i)).collect();
         Ok(Self { width, directions, index: 0 })
     }
 

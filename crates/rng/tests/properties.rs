@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use scnn_bitstream::Precision;
 use scnn_rng::{
-    AdderScheme, Lfsr, MultiplierScheme, NumberSource, Ramp, RotatedView, Sng, Sobol2,
-    TrueRandom, VanDerCorput,
+    AdderScheme, Lfsr, MultiplierScheme, NumberSource, Ramp, RotatedView, Sng, Sobol2, TrueRandom,
+    VanDerCorput,
 };
 
 proptest! {

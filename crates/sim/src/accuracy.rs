@@ -202,10 +202,8 @@ mod tests {
     #[test]
     fn ramp_low_discrepancy_is_best_multiplier_at_8bit() {
         let p = precision(8);
-        let reports: Vec<f64> = MultiplierScheme::ALL
-            .iter()
-            .map(|s| multiplier_sweep(*s, p, 1).unwrap().mse)
-            .collect();
+        let reports: Vec<f64> =
+            MultiplierScheme::ALL.iter().map(|s| multiplier_sweep(*s, p, 1).unwrap().mse).collect();
         // Table 1 ordering: shared worst, ramp+LD best.
         let shared = reports[0];
         let ramp_ld = reports[3];

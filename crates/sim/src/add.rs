@@ -222,10 +222,7 @@ mod tests {
         let y1 = BitStream::parse("1110_0000").unwrap();
         let y2 = BitStream::parse("0101_0100").unwrap(); // also 3 ones
         let a = TffAdder::new(false);
-        assert_eq!(
-            a.add(&x1, &y1).unwrap().count_ones(),
-            a.add(&x2, &y2).unwrap().count_ones()
-        );
+        assert_eq!(a.add(&x1, &y1).unwrap().count_ones(), a.add(&x2, &y2).unwrap().count_ones());
     }
 
     #[test]

@@ -128,7 +128,10 @@ impl UpDownCounter {
     /// Returns a length-mismatch error if the streams differ in length.
     pub fn count(&mut self, up: &BitStream, down: &BitStream) -> Result<(), scnn_bitstream::Error> {
         if up.len() != down.len() {
-            return Err(scnn_bitstream::Error::LengthMismatch { left: up.len(), right: down.len() });
+            return Err(scnn_bitstream::Error::LengthMismatch {
+                left: up.len(),
+                right: down.len(),
+            });
         }
         self.add_pulses(up.count_ones() as i64 - down.count_ones() as i64);
         Ok(())

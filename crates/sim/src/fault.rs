@@ -119,10 +119,7 @@ mod tests {
             let mut s = original.clone();
             inject_exact_flips(&mut s, flips, &mut rng());
             let dv = (s.unipolar().get() - v0).abs();
-            assert!(
-                dv <= max_value_perturbation(flips, 256) + 1e-12,
-                "flips={flips} dv={dv}"
-            );
+            assert!(dv <= max_value_perturbation(flips, 256) + 1e-12, "flips={flips} dv={dv}");
         }
     }
 

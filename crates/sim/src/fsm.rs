@@ -136,10 +136,7 @@ mod tests {
             let input = sng.generate_level(level, 8192);
             let out = stanh.transform(&input).bipolar().get();
             let ideal = stanh.ideal(2.0 * p - 1.0);
-            assert!(
-                (out - ideal).abs() < 0.12,
-                "p={p}: fsm {out:.3} vs ideal {ideal:.3}"
-            );
+            assert!((out - ideal).abs() < 0.12, "p={p}: fsm {out:.3} vs ideal {ideal:.3}");
         }
     }
 
@@ -168,9 +165,7 @@ mod tests {
         );
         // Whereas the TFF adder on the same stream (halved against an
         // all-ones stream) stays exact: (0.75 + 1)/2 = 0.875.
-        let exact = crate::TffAdder::new(false)
-            .add(&thermometer, &BitStream::ones(256))
-            .unwrap();
+        let exact = crate::TffAdder::new(false).add(&thermometer, &BitStream::ones(256)).unwrap();
         assert_eq!(exact.count_ones(), 224);
     }
 

@@ -333,10 +333,7 @@ mod tests {
         let got = tree.add_streams(&inputs).unwrap().count_ones() as f64;
         let exact: u64 = inputs.iter().map(BitStream::count_ones).sum();
         let expected = exact as f64 / tree.scale() as f64;
-        assert!(
-            (got - expected).abs() <= tree.depth() as f64,
-            "got {got}, expected {expected}"
-        );
+        assert!((got - expected).abs() <= tree.depth() as f64, "got {got}, expected {expected}");
     }
 
     #[test]

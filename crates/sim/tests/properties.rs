@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use scnn_bitstream::BitStream;
-use scnn_sim::{MuxAdder, Multiplier, OrAdder, S0Policy, TffAdder, TffAdderTree, TffHalver};
+use scnn_sim::{Multiplier, MuxAdder, OrAdder, S0Policy, TffAdder, TffAdderTree, TffHalver};
 
 fn arb_pair(max_len: usize) -> impl Strategy<Value = (BitStream, BitStream)> {
     (1..max_len).prop_flat_map(|len| {

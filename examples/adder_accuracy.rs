@@ -14,6 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Fig. 2c: the initial TFF state picks the rounding direction ==");
     let x = BitStream::parse("0100 1010")?; // 3/8
     let y = BitStream::parse("0010 0010")?; // 1/4
+
     // (3/8 + 1/4)/2 = 5/16 is not representable in 8 bits.
     let z0 = TffAdder::new(false).add(&x, &y)?;
     let z1 = TffAdder::new(true).add(&x, &y)?;

@@ -17,18 +17,10 @@ fn bar(nj: f64, max: f64) -> String {
 
 fn main() {
     let lib = CellLibrary::tsmc65_typical();
-    let table = compute(
-        &paper_precisions(),
-        &ScActivity::default(),
-        &BinaryActivity::default(),
-        &lib,
-    );
-    let max = table
-        .binary
-        .iter()
-        .chain(&table.this_work)
-        .map(|p| p.energy_nj)
-        .fold(0.0f64, f64::max);
+    let table =
+        compute(&paper_precisions(), &ScActivity::default(), &BinaryActivity::default(), &lib);
+    let max =
+        table.binary.iter().chain(&table.this_work).map(|p| p.energy_nj).fold(0.0f64, f64::max);
 
     println!("energy per frame (nJ), {} cell model:\n", lib.name());
     for (b, s) in table.binary.iter().zip(&table.this_work) {

@@ -40,13 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("      engine: {}", engine.label());
 
         println!("[3/3] retraining the binary tail on frozen stochastic features (§V-B)…");
-        let (mut hybrid, report) = retrain(
-            Box::new(engine),
-            base.tail_clone(),
-            &train,
-            &test,
-            &RetrainConfig::default(),
-        )?;
+        let (mut hybrid, report) =
+            retrain(Box::new(engine), base.tail_clone(), &train, &test, &RetrainConfig::default())?;
         println!(
             "      misclassification: {:.2}% before retraining → {:.2}% after",
             report.before.misclassification_rate() * 100.0,

@@ -26,9 +26,8 @@ fn stream_value_perturbation_is_linear_in_flips() {
 fn hybrid_classifier_survives_stream_bit_errors() {
     let train = synthetic::generate(300, 21);
     let test = synthetic::generate(60, 22);
-    let base =
-        train_base(&train, &test, &TrainConfig { epochs: 2, ..TrainConfig::default() })
-            .expect("base");
+    let base = train_base(&train, &test, &TrainConfig { epochs: 2, ..TrainConfig::default() })
+        .expect("base");
     let precision = Precision::new(6).expect("valid");
 
     let accuracy_at = |ber: f64| {
@@ -40,12 +39,10 @@ fn hybrid_classifier_survives_stream_bit_errors() {
     };
 
     let clean = accuracy_at(0.0);
-    let noisy = accuracy_at(0.01); // 1% of all stream bits flipped
+    // 1% of all stream bits flipped.
+    let noisy = accuracy_at(0.01);
     // Graceful degradation: a 1% bit-error rate must not collapse accuracy.
-    assert!(
-        noisy >= clean - 0.15,
-        "1% BER dropped accuracy from {clean:.3} to {noisy:.3}"
-    );
+    assert!(noisy >= clean - 0.15, "1% BER dropped accuracy from {clean:.3} to {noisy:.3}");
     // And heavy noise should hurt more than light noise (sanity direction).
     let heavy = accuracy_at(0.2);
     assert!(heavy <= noisy + 0.05, "heavy noise {heavy:.3} vs light {noisy:.3}");

@@ -12,12 +12,8 @@ use scnn::nn::data::synthetic;
 fn quick_base() -> (scnn::core::BaseModel, scnn::nn::data::Dataset, scnn::nn::data::Dataset) {
     let train = synthetic::generate(300, 11);
     let test = synthetic::generate(120, 12);
-    let base = train_base(
-        &train,
-        &test,
-        &TrainConfig { epochs: 2, ..TrainConfig::default() },
-    )
-    .expect("base training");
+    let base = train_base(&train, &test, &TrainConfig { epochs: 2, ..TrainConfig::default() })
+        .expect("base training");
     (base, train, test)
 }
 

@@ -57,8 +57,7 @@ fn table3_hw_shape_matches_paper() {
     }
     // Binary energy decreases far more slowly.
     let bin_total_drop = t.binary[0].energy_nj / t.binary.last().expect("rows").energy_nj;
-    let sc_total_drop =
-        t.this_work[0].energy_nj / t.this_work.last().expect("rows").energy_nj;
+    let sc_total_drop = t.this_work[0].energy_nj / t.this_work.last().expect("rows").energy_nj;
     assert!(sc_total_drop > 5.0 * bin_total_drop, "sc {sc_total_drop}× vs bin {bin_total_drop}×");
     // Efficiency gain near break-even at 8 bits and large at 4 (paper 9.8×).
     let g8 = t.efficiency_gain(8).expect("row");

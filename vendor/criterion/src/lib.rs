@@ -1,0 +1,225 @@
+//! Vendored, dependency-free stand-in for the subset of the [`criterion`] API
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal wall-clock benchmark runner: each `Bencher::iter` call warms up,
+//! then times batches until the configured measurement budget (default 1 s,
+//! shrunk by `--test` / `--quick` / `SCNN_BENCH_QUICK=1` to a single batch)
+//! is spent, and prints `name  time/iter` lines. No statistics, plots, or
+//! baselines — just enough to keep `cargo bench` targets compiled, runnable,
+//! and honest about relative cost.
+
+use std::time::{Duration, Instant};
+
+/// True when the process was asked for a smoke run rather than a measurement
+/// run: `cargo test` passes `--test`, CI sets `SCNN_BENCH_QUICK=1`, and
+/// humans can pass `--quick`.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+        || std::env::var_os("SCNN_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { quick: quick_mode() }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            quick: self.quick,
+            measurement_time: Duration::from_secs(1),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.quick, Duration::from_secs(1), &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    measurement_time: Duration,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stub sizes runs by time only.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.quick, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.quick, self.measurement_time, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this stub; consumes the group like the
+    /// real API so call-sites stay source-compatible).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    quick: bool,
+    budget: Duration,
+    /// Mean nanoseconds per iteration of the most recent `iter` call.
+    pub last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, batching calls until the measurement budget is spent
+    /// (a single batch in quick mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until it takes ≥ ~5 ms so
+        // Instant overhead stays negligible for nanosecond-scale routines.
+        let mut batch: u64 = 1;
+        let mut warm_elapsed;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            warm_elapsed = t.elapsed();
+            if self.quick || warm_elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        if self.quick {
+            self.last_ns_per_iter = warm_elapsed.as_nanos() as f64 / batch as f64;
+            return;
+        }
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let deadline = self.budget;
+        while spent < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.last_ns_per_iter = spent.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one(name: &str, quick: bool, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { quick, budget, last_ns_per_iter: 0.0 };
+    f(&mut b);
+    println!("bench: {name:<50} {}", format_ns(b.last_ns_per_iter));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Groups benchmark functions into one runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b =
+            Bencher { quick: true, budget: Duration::from_millis(1), last_ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        // quick mode still records a non-negative time
+        assert!(b.last_ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { quick: true };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_function("one", |b| b.iter(|| 2 + 2));
+        g.bench_with_input(BenchmarkId::new("two", 8), &3, |b, &x| b.iter(|| x * x));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).0, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("p").0, "p");
+    }
+}
