@@ -1,0 +1,66 @@
+//! Criterion bench for the stochastic first layer's two TFF execution
+//! paths: the level-indexed AND-count table (the default `forward_image`)
+//! versus the packed bit-level streaming simulation
+//! (`forward_image_streaming`), across precisions.
+//!
+//! This is the repo's perf-trajectory anchor: the measured times and the
+//! derived LUT-vs-streaming speedups are written to `BENCH.json`
+//! (`scnn_bench::report::BenchJson`), which CI uploads as an artifact so
+//! future PRs can diff them. The acceptance bar for the count-table fast
+//! path is a ≥ 10× speedup at 8-bit precision.
+//!
+//! ```text
+//! cargo bench -p scnn-bench --bench forward_image            # measured
+//! SCNN_BENCH_QUICK=1 cargo bench -p scnn-bench --bench forward_image
+//! ```
+
+use criterion::{BenchmarkId, Criterion};
+use scnn_bench::report::BenchJson;
+use scnn_bitstream::Precision;
+use scnn_core::{FirstLayer, ScOptions, StochasticConvLayer};
+use scnn_nn::data::synthetic;
+use scnn_nn::layers::{Conv2d, Padding};
+use std::hint::black_box;
+use std::time::Duration;
+
+const PRECISIONS: [u32; 3] = [4, 6, 8];
+
+fn main() {
+    let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
+    let image = synthetic::single(7, 1);
+    let path = BenchJson::default_path();
+    let mut json = BenchJson::load(&path);
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("forward_image");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for bits in PRECISIONS {
+        let precision = Precision::new(bits).expect("valid");
+        let engine = StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work())
+            .expect("engine");
+        assert!(engine.uses_count_table(), "TFF engine at {bits}-bit must build the count table");
+        group.bench_with_input(BenchmarkId::new("tff_lut", bits), &engine, |b, e| {
+            b.iter(|| e.forward_image(black_box(&image)).expect("forward"));
+            json.record(&format!("forward_image/tff_lut/{bits}"), b.last_ns_per_iter);
+        });
+        group.bench_with_input(BenchmarkId::new("tff_streaming", bits), &engine, |b, e| {
+            b.iter(|| e.forward_image_streaming(black_box(&image)).expect("forward"));
+            json.record(&format!("forward_image/tff_streaming/{bits}"), b.last_ns_per_iter);
+        });
+    }
+    group.finish();
+
+    for bits in PRECISIONS {
+        let lut = json.get(&format!("forward_image/tff_lut/{bits}"));
+        let streaming = json.get(&format!("forward_image/tff_streaming/{bits}"));
+        if let (Some(lut), Some(streaming)) = (lut, streaming) {
+            let speedup = streaming / lut;
+            json.record(&format!("forward_image/speedup_tff_lut_x/{bits}"), speedup);
+            println!(
+                "forward_image: {bits}-bit TFF count-table speedup {speedup:.1}x over streaming"
+            );
+        }
+    }
+    json.write(&path).expect("write BENCH.json");
+    println!("timings recorded in {}", path.display());
+}

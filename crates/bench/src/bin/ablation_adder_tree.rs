@@ -67,6 +67,10 @@ fn rmse_mux(k: usize, precision: Precision, trials: u64) -> f64 {
 }
 
 fn main() {
+    scnn_bench::report::timed_run("ablation_adder_tree", run);
+}
+
+fn run() {
     let precision = Precision::new(8).expect("valid");
     let trials = 200;
     let mut table = Table::new(vec![

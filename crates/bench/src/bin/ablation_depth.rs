@@ -70,6 +70,10 @@ fn chain_rmse(precision: Precision, depth: usize, trials: u64) -> (f64, f64) {
 }
 
 fn main() {
+    scnn_bench::report::timed_run("ablation_depth", run);
+}
+
+fn run() {
     let precision = Precision::new(8).expect("valid");
     let trials = 400;
     let mut table = Table::new(vec![

@@ -59,18 +59,22 @@ fn binary_accuracy(net: &Network, test: &scnn_nn::data::Dataset, bits: u32) -> f
         }
         q
     };
-    let mut l1 = quantize(&dense_at(net, 1));
-    let mut sign = Sign::new(0.0);
-    let mut l2 = quantize(&dense_at(net, 3));
-    let mut correct = 0usize;
-    for i in 0..test.len() {
-        let x = Tensor::from_vec(test.item(i).to_vec(), &[1, 784]).expect("shape");
-        let h = sign.forward(&l1.forward(&x, false).expect("forward"), false).expect("forward");
-        let logits = l2.forward(&h, false).expect("forward");
-        let pred = argmax(logits.data());
-        correct += usize::from(pred == usize::from(test.label(i)));
-    }
-    correct as f64 / test.len() as f64
+    let l1 = quantize(&dense_at(net, 1));
+    let l2 = quantize(&dense_at(net, 3));
+    let hits = scnn_core::parallel::par_chunk_map(test.len(), |range| {
+        let (mut l1, mut l2) = (l1.clone(), l2.clone());
+        let mut sign = Sign::new(0.0);
+        range
+            .map(|i| {
+                let x = Tensor::from_vec(test.item(i).to_vec(), &[1, 784]).expect("shape");
+                let h =
+                    sign.forward(&l1.forward(&x, false).expect("forward"), false).expect("forward");
+                let logits = l2.forward(&h, false).expect("forward");
+                argmax(logits.data()) == usize::from(test.label(i))
+            })
+            .collect()
+    });
+    hits.iter().filter(|&&hit| hit).count() as f64 / test.len() as f64
 }
 
 /// Hybrid / fully stochastic accuracy: layer 1 stochastic; layer 2 float
@@ -88,32 +92,34 @@ fn stochastic_accuracy(
     let l2_float = dense_at(net, 3);
     let l2_sc = StochasticDenseLayer::from_dense(&l2_float, precision, DenseInput::Ternary, 2)
         .expect("engine");
-    let mut l2_float = l2_float;
-    let mut correct = 0usize;
-    for i in 0..test.len() {
-        let hidden_raw = l1.forward(test.item(i)).expect("layer 1");
-        let hidden: Vec<f32> = hidden_raw
-            .iter()
-            .map(|&v| {
-                if v > 0.0 {
-                    1.0
-                } else if v < 0.0 {
-                    -1.0
+    let hits = scnn_core::parallel::par_chunk_map(test.len(), |range| {
+        let mut l2_float = l2_float.clone();
+        range
+            .map(|i| {
+                let hidden_raw = l1.forward(test.item(i)).expect("layer 1");
+                let hidden: Vec<f32> = hidden_raw
+                    .iter()
+                    .map(|&v| {
+                        if v > 0.0 {
+                            1.0
+                        } else if v < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let logits: Vec<f32> = if sc_layer2 {
+                    l2_sc.forward(&hidden).expect("layer 2")
                 } else {
-                    0.0
-                }
+                    let x = Tensor::from_vec(hidden, &[1, HIDDEN]).expect("shape");
+                    l2_float.forward(&x, false).expect("layer 2").into_vec()
+                };
+                argmax(&logits) == usize::from(test.label(i))
             })
-            .collect();
-        let logits: Vec<f32> = if sc_layer2 {
-            l2_sc.forward(&hidden).expect("layer 2")
-        } else {
-            let x = Tensor::from_vec(hidden, &[1, HIDDEN]).expect("shape");
-            l2_float.forward(&x, false).expect("layer 2").into_vec()
-        };
-        let pred = argmax(&logits);
-        correct += usize::from(pred == usize::from(test.label(i)));
-    }
-    correct as f64 / test.len() as f64
+            .collect()
+    });
+    hits.iter().filter(|&&hit| hit).count() as f64 / test.len() as f64
 }
 
 fn argmax(v: &[f32]) -> usize {
@@ -125,6 +131,10 @@ fn argmax(v: &[f32]) -> usize {
 }
 
 fn main() {
+    scnn_bench::report::timed_run("ablation_fully_stochastic", run);
+}
+
+fn run() {
     let (train, test, source) =
         load_or_synthesize(Path::new("data/mnist"), 1000, 300, 31).expect("data");
     eprintln!("[fully-sc] data source: {source}; training 784→{HIDDEN}→10 MLP…");

@@ -45,18 +45,23 @@ fn mismatch_rate(
         BinaryConvLayer::from_conv(conv, precision, 0.0).expect("reference engine");
     let options = ScOptions { pixel_source, weight_source, ..base_options };
     let engine = StochasticConvLayer::from_conv(conv, precision, options).expect("engine");
-    let mut mismatches = 0usize;
-    let mut total = 0usize;
-    for img in images {
-        let reference = reference_engine.forward_image(img).expect("forward");
-        let got = engine.forward_image(img).expect("forward");
-        mismatches += got.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() > 0.5).count();
-        total += got.len();
-    }
+    // Engines are immutable: one per-image task per parallel worker.
+    let per_image = scnn_core::parallel::par_map_range(images.len(), |i| {
+        let reference = reference_engine.forward_image(images[i]).expect("forward");
+        let got = engine.forward_image(images[i]).expect("forward");
+        let mismatches = got.iter().zip(&reference).filter(|(a, b)| (*a - *b).abs() > 0.5).count();
+        (mismatches, got.len())
+    });
+    let (mismatches, total) =
+        per_image.iter().fold((0usize, 0usize), |(m, t), &(mi, ti)| (m + mi, t + ti));
     mismatches as f64 / total as f64
 }
 
 fn main() {
+    scnn_bench::report::timed_run("ablation_sng", run);
+}
+
+fn run() {
     let patterns: Vec<Vec<f32>> = (0..6).map(|i| test_pattern(i + 1)).collect();
     let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
     let images: Vec<&[f32]> = patterns.iter().map(Vec::as_slice).collect();

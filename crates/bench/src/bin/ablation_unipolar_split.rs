@@ -100,6 +100,10 @@ fn toggles(s: &BitStream) -> f64 {
 }
 
 fn main() {
+    scnn_bench::report::timed_run("ablation_unipolar_split", run);
+}
+
+fn run() {
     let trials = 400u64;
     let mut table = Table::new(vec![
         "precision".into(),

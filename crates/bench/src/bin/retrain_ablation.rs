@@ -13,6 +13,10 @@ use scnn_bitstream::Precision;
 use scnn_core::{retrain, BinaryConvLayer, RetrainConfig, ScOptions, StochasticConvLayer};
 
 fn main() {
+    scnn_bench::report::timed_run("retrain_ablation", run);
+}
+
+fn run() {
     let effort = Effort::from_args();
     let bench = prepare(effort);
     let retrain_cfg = RetrainConfig { epochs: effort.retrain_epochs(), ..RetrainConfig::default() };

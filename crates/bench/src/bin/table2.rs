@@ -23,6 +23,10 @@ fn paper_reference(scheme: AdderScheme) -> (f64, f64) {
 }
 
 fn main() {
+    scnn_bench::report::timed_run("table2", run);
+}
+
+fn run() {
     let p8 = Precision::new(8).expect("valid");
     let p4 = Precision::new(4).expect("valid");
     let seed = 1;

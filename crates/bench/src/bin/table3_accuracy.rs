@@ -31,6 +31,10 @@ fn paper_reference(design: &str) -> [f64; 7] {
 }
 
 fn main() {
+    scnn_bench::report::timed_run("table3_accuracy", run);
+}
+
+fn run() {
     let effort = Effort::from_args();
     let bench = prepare(effort);
     let retrain_cfg = RetrainConfig { epochs: effort.retrain_epochs(), ..RetrainConfig::default() };

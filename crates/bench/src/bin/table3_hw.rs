@@ -68,6 +68,10 @@ fn render_metric(
 }
 
 fn main() {
+    scnn_bench::report::timed_run("table3_hw", run);
+}
+
+fn run() {
     // Activity factors from real traces (paper §VI): a trained-shape conv
     // and sample images through the actual stream simulator.
     let (train, _test, source) =

@@ -1,4 +1,152 @@
-//! Minimal markdown table rendering for harness output.
+//! Minimal markdown table rendering for harness output, plus the
+//! machine-readable `BENCH.json` timing record the perf trajectory is
+//! tracked with.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A flat, machine-readable record of benchmark measurements, written as a
+/// single JSON object mapping benchmark names to numbers (nanoseconds for
+/// timings; plain ratios for derived entries like speedups).
+///
+/// Every bench bin loads the existing file, overwrites its own entries, and
+/// rewrites the whole file, so one CI run accumulates all harness timings
+/// into one artifact that later PRs can diff.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bench::report::BenchJson;
+///
+/// let mut j = BenchJson::new();
+/// j.record("forward_image/tff_lut/8", 1.5e6);
+/// assert_eq!(j.get("forward_image/tff_lut/8"), Some(1.5e6));
+/// let text = j.render();
+/// assert_eq!(BenchJson::parse(&text).get("forward_image/tff_lut/8"), Some(1.5e6));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BenchJson {
+    entries: Vec<(String, f64)>,
+}
+
+impl BenchJson {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Where the record lives: `$SCNN_BENCH_JSON` if set, else
+    /// `BENCH.json` in the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("SCNN_BENCH_JSON").map_or_else(|| PathBuf::from("BENCH.json"), Into::into)
+    }
+
+    /// Loads the record at `path`; a missing or unreadable file yields an
+    /// empty record (bins merge into whatever already exists).
+    pub fn load(path: &Path) -> Self {
+        std::fs::read_to_string(path).map(|text| Self::parse(&text)).unwrap_or_default()
+    }
+
+    /// Parses the exact format [`render`](Self::render) writes (one
+    /// `"name": value` pair per line); unparseable lines are skipped.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let Some((name_part, value_part)) = line.rsplit_once(':') else { continue };
+            let name: String = name_part.trim().trim_matches('"').to_string();
+            if name.is_empty() || name == "{" {
+                continue;
+            }
+            if let Ok(value) = value_part.trim().trim_end_matches(',').parse::<f64>() {
+                entries.push((name, value));
+            }
+        }
+        Self { entries }
+    }
+
+    /// Inserts or overwrites one measurement.
+    pub fn record(&mut self, name: &str, value: f64) {
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            entry.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Looks up a measurement by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Renders the record as a JSON object, names sorted for stable diffs.
+    pub fn render(&self) -> String {
+        let mut sorted: Vec<&(String, f64)> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in sorted.iter().enumerate() {
+            let comma = if i + 1 < sorted.len() { "," } else { "" };
+            out.push_str(&format!("  \"{name}\": {value}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the record to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Wall-clock stopwatch for whole-harness timings.
+///
+/// # Example
+///
+/// ```
+/// use scnn_bench::report::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let ns = sw.elapsed_ns();
+/// assert!(ns >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`start`](Self::start).
+    pub fn elapsed_ns(&self) -> f64 {
+        self.0.elapsed().as_nanos() as f64
+    }
+}
+
+/// Records one whole-run timing into the default `BENCH.json` (merging with
+/// existing entries). Errors are reported, not fatal — timings must never
+/// fail a harness.
+pub fn record_run_ns(name: &str, ns: f64) {
+    let path = BenchJson::default_path();
+    let mut json = BenchJson::load(&path);
+    json.record(name, ns);
+    if let Err(e) = json.write(&path) {
+        eprintln!("[report] note: could not write {}: {e}", path.display());
+    }
+}
+
+/// Runs a whole harness under a stopwatch and records its wall-clock time
+/// as `bin/<name>` in `BENCH.json` — the one-line `main` wrapper every
+/// table/ablation binary uses.
+pub fn timed_run(name: &str, run: impl FnOnce()) {
+    let stopwatch = Stopwatch::start();
+    run();
+    record_run_ns(&format!("bin/{name}"), stopwatch.elapsed_ns());
+}
 
 /// A markdown table builder.
 ///
@@ -99,5 +247,41 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(sci(1.91e-6), "1.91e-6");
         assert_eq!(pct(0.0123), "1.23%");
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_merges() {
+        let mut j = BenchJson::new();
+        j.record("b/two", 2.5);
+        j.record("a/one", 1e9);
+        j.record("b/two", 3.5); // overwrite
+        let text = j.render();
+        // Valid, sorted, newline-terminated JSON object.
+        assert!(text.starts_with("{\n  \"a/one\": 1000000000"));
+        assert!(text.ends_with("}\n"));
+        let parsed = BenchJson::parse(&text);
+        assert_eq!(parsed.get("a/one"), Some(1e9));
+        assert_eq!(parsed.get("b/two"), Some(3.5));
+        assert_eq!(parsed.get("missing"), None);
+    }
+
+    #[test]
+    fn bench_json_parse_tolerates_garbage() {
+        let j = BenchJson::parse("{\nnot json\n  \"ok\": 7\n}\n");
+        assert_eq!(j.get("ok"), Some(7.0));
+        assert_eq!(BenchJson::parse("").entries.len(), 0);
+    }
+
+    #[test]
+    fn bench_json_load_missing_file_is_empty() {
+        let j = BenchJson::load(std::path::Path::new("/nonexistent/BENCH.json"));
+        assert_eq!(j.get("anything"), None);
+    }
+
+    #[test]
+    fn stopwatch_advances() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_ns() >= 1e6);
     }
 }

@@ -111,6 +111,11 @@ pub fn prepare(effort: Effort) -> Workbench {
     )
     .expect("dataset preparation failed");
     eprintln!("[setup] data source: {source}, {} train / {} test images", train.len(), test.len());
+    eprintln!(
+        "[setup] worker threads: {} (override with {}=N)",
+        scnn_core::parallel::thread_count(),
+        scnn_core::parallel::THREADS_ENV,
+    );
     let config = TrainConfig { epochs: effort.base_epochs(), ..TrainConfig::default() };
     let cache = Path::new("target/scnn-cache").join(format!("base-{source}-{effort:?}.bin"));
     if let Ok(Some(base)) = BaseModel::load(&cache, &config) {

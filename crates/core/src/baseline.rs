@@ -14,7 +14,12 @@ pub const IMAGE_SIDE: usize = 28;
 /// reference, the quantized binary baseline, and the stochastic engines —
 /// so [`HybridLenet`](crate::HybridLenet) and the retraining pipeline are
 /// generic over the hardware design being evaluated.
-pub trait FirstLayer {
+///
+/// `Send + Sync` are supertraits: `forward_image` takes `&self`, so one
+/// engine is shared by all [`parallel`](crate::parallel) workers during
+/// dataset-scale feature extraction. Engines are immutable after
+/// construction, so the bounds are free.
+pub trait FirstLayer: Send + Sync {
     /// Computes the 32 × 28 × 28 ternary feature maps (values −1/0/+1,
     /// channel-major) for one image of 784 pixels in `[0, 1]`.
     ///

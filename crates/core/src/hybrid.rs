@@ -72,21 +72,26 @@ impl HybridLenet {
     ///
     /// This is the expensive, cacheable step of the retraining pipeline
     /// (§V-B): the frozen first layer's outputs are computed once per
-    /// dataset and reused for every retraining epoch.
+    /// dataset and reused for every retraining epoch. Images are
+    /// distributed over the [`parallel`](crate::parallel) worker threads
+    /// (the engine is immutable and shared); item order is preserved, so
+    /// the features are identical for every `SCNN_THREADS` setting.
     ///
     /// # Errors
     ///
     /// Propagates engine and shape errors.
     pub fn extract_features(&self, dataset: &Dataset) -> Result<Dataset, Error> {
         let kernels = self.head.kernels();
-        let mut pool = MaxPool2d::new();
-        let mut items = Vec::with_capacity(dataset.len());
-        for i in 0..dataset.len() {
-            let raw = self.head.forward_image(dataset.item(i))?;
-            let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
-            let pooled = pool.forward(&t, false)?;
-            items.push(pooled.into_vec());
-        }
+        let head = self.head.as_ref();
+        let items: Vec<Result<Vec<f32>, Error>> =
+            crate::parallel::par_map_range(dataset.len(), |i| {
+                let raw = head.forward_image(dataset.item(i))?;
+                let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
+                let mut pool = MaxPool2d::new();
+                let pooled = pool.forward(&t, false)?;
+                Ok(pooled.into_vec())
+            });
+        let items = items.into_iter().collect::<Result<Vec<_>, Error>>()?;
         let labels = dataset.labels().to_vec();
         Ok(Dataset::from_items(items, &[kernels, 14, 14], labels)?)
     }

@@ -46,6 +46,7 @@ mod baseline;
 mod dense;
 mod error;
 mod hybrid;
+pub mod parallel;
 mod retrain;
 mod stochastic;
 

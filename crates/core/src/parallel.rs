@@ -1,0 +1,18 @@
+//! Batch-parallel execution for the hybrid pipeline.
+//!
+//! Re-exports the scoped-thread chunked map from
+//! [`scnn_nn::parallel`] (the implementation lives one layer down so the
+//! training framework's own batch evaluation can use it too). Worker count
+//! comes from the `SCNN_THREADS` environment variable, defaulting to the
+//! machine's available parallelism; results are always produced in item
+//! order, so every consumer — [`HybridLenet::extract_features`],
+//! [`Network::evaluate`], the bench harness sweeps — is deterministic for
+//! any thread count.
+//!
+//! [`HybridLenet::extract_features`]: crate::HybridLenet::extract_features
+//! [`Network::evaluate`]: scnn_nn::Network::evaluate
+
+pub use scnn_nn::parallel::{
+    par_chunk_map, par_chunk_map_threads, par_map_range, par_map_range_threads, thread_count,
+    THREADS_ENV,
+};

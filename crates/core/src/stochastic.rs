@@ -137,6 +137,26 @@ impl Default for ScOptions {
 /// tree. The MUX configuration is simulated bit-parallel (words of 64
 /// cycles) because its output genuinely depends on which bits the select
 /// streams sample.
+///
+/// # The level-indexed AND-count table
+///
+/// A comparator SNG is a deterministic function of its input level: against
+/// the fixed shared `pixel_seq`, a stream can take at most `2^b + 1`
+/// distinct bit patterns — one per comparator level `0..=2^b`; the table
+/// covers them all, though `b`-bit pixel quantization saturates at level
+/// `2^b − 1` and so reads only `2^b` rows. The TFF datapath consumes
+/// streams *only* through
+/// `count(pixel ∧ weight)`, so the whole per-tap multiply-and-count
+/// collapses to a table precomputed at construction:
+/// `and_lut[level][t·K + k] = count(stream(level) ∧ weight_stream(k, t))`
+/// (tap-major, `K` = kernels, so one window tap reads a contiguous lane
+/// row shared by every kernel). [`forward_image`](FirstLayer::forward_image)
+/// then quantizes each pixel once and folds counts for all `K` kernels in
+/// parallel lanes — zero bitstream traffic, bit-exact with
+/// [`forward_image_streaming`](Self::forward_image_streaming) (property
+/// tested). The streaming simulation remains in use where bits genuinely
+/// matter: the MUX tree (select sampling) and fault injection
+/// (`bit_error_rate > 0`).
 #[derive(Debug, Clone)]
 pub struct StochasticConvLayer {
     bank: KernelBank,
@@ -154,7 +174,17 @@ pub struct StochasticConvLayer {
     weight_neg: Vec<bool>,
     /// Select streams for the MUX trees (2·(padded−1) streams), empty for TFF.
     select_streams: StreamArena,
+    /// Level-indexed AND-count table, `(2^b + 1) × ksq·K` entries laid out
+    /// `[level][t·K + k]`; empty when the streaming path must run.
+    and_lut: Vec<u16>,
+    /// Per-`(t, k)` lane mask (same layout as one LUT row): `0xFFFF` where
+    /// the weight feeds the positive tree, `0` where it feeds the negative.
+    pos_mask: Vec<u16>,
 }
+
+/// Upper bound on AND-count table entries ((2^b + 1) · ksq · kernels);
+/// configurations above it fall back to the streaming engine.
+const MAX_LUT_ENTRIES: usize = 1 << 24;
 
 impl StochasticConvLayer {
     /// Builds the engine from a trained first-layer convolution.
@@ -210,6 +240,43 @@ impl StochasticConvLayer {
             StreamArena::new(0, n)?
         };
 
+        // Level-indexed AND-count table (see the type-level docs). Only the
+        // TFF adder admits the count-domain shortcut, and fault injection
+        // needs real bits; the u16 lanes additionally require the fold's
+        // transient `2n + 1` to fit (always true for the gated sizes).
+        let row_len = ksq * bank.kernels;
+        let lut_levels = n + 1;
+        let build_lut = options.adder == AdderKind::Tff
+            && options.bit_error_rate == 0.0
+            && 2 * n < usize::from(u16::MAX)
+            && lut_levels.saturating_mul(row_len) <= MAX_LUT_ENTRIES;
+        let (and_lut, pos_mask) = if build_lut {
+            let mut lut = vec![0u16; lut_levels * row_len];
+            let mut level_stream = StreamArena::new(1, n)?;
+            for level in 0..lut_levels {
+                level_stream.write_from_levels(0, &pixel_seq, level as u64);
+                let row = &mut lut[level * row_len..(level + 1) * row_len];
+                for t in 0..ksq {
+                    for k in 0..bank.kernels {
+                        row[t * bank.kernels + k] =
+                            and_count(level_stream.stream(0), weight_streams.stream(k * ksq + t))
+                                as u16;
+                    }
+                }
+            }
+            let mut mask = vec![0u16; row_len];
+            for t in 0..ksq {
+                for k in 0..bank.kernels {
+                    if !weight_neg[k * ksq + t] {
+                        mask[t * bank.kernels + k] = u16::MAX;
+                    }
+                }
+            }
+            (lut, mask)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         Ok(Self {
             bank,
             precision,
@@ -220,6 +287,8 @@ impl StochasticConvLayer {
             weight_streams,
             weight_neg,
             select_streams,
+            and_lut,
+            pos_mask,
         })
     }
 
@@ -278,8 +347,19 @@ impl StochasticConvLayer {
         }
         let bits = self.precision.bits();
         let mut arena = StreamArena::new(image.len(), self.n)?;
+        // One comparator-SNG conversion per *distinct* level (≤ 2^b + 1)
+        // instead of one per pixel: against the fixed shared `pixel_seq`
+        // the stream is a pure function of the level, so equal-level pixels
+        // share bit patterns and the rest is a word copy.
+        let mut level_words: Vec<Option<Vec<u64>>> = vec![None; self.n + 1];
+        let mut scratch = StreamArena::new(1, self.n)?;
         for (p, &v) in image.iter().enumerate() {
-            arena.write_from_levels(p, &self.pixel_seq, pixel_level(v, bits));
+            let level = pixel_level(v, bits) as usize;
+            if level_words[level].is_none() {
+                scratch.write_from_levels(0, &self.pixel_seq, level as u64);
+                level_words[level] = Some(scratch.stream(0).to_vec());
+            }
+            arena.stream_mut(p).copy_from_slice(level_words[level].as_ref().expect("just filled"));
         }
         if self.options.bit_error_rate > 0.0 {
             // Deterministic per image content.
@@ -287,12 +367,25 @@ impl StochasticConvLayer {
                 image.iter().enumerate().map(|(i, &v)| (i as u64 + 1) * (v.to_bits() as u64)).sum();
             let mut rng = StdRng::seed_from_u64(self.options.seed ^ content_hash);
             let total_bits = image.len() * self.n;
-            for flat in 0..total_bits {
-                if rng.gen_bool(self.options.bit_error_rate) {
-                    let stream = flat / self.n;
-                    let bit = flat % self.n;
-                    arena.stream_mut(stream)[bit / 64] ^= 1u64 << (bit % 64);
+            // Geometric skip-sampling: draw the gap to the next flipped bit
+            // directly (P(gap = g) = (1 − p)^g · p, the inverse-CDF form)
+            // instead of one Bernoulli draw per bit — the same flip
+            // distribution in O(expected flips) rather than O(total bits).
+            let p = self.options.bit_error_rate;
+            // ln(1 − p) via ln_1p so denormally small rates don't round the
+            // denominator to 0 (−∞ when p == 1: every gap is 0).
+            let ln_keep = (-p).ln_1p();
+            let mut flat = 0usize;
+            while flat < total_bits {
+                let u: f64 = rng.gen();
+                let gap = ((1.0 - u).ln() / ln_keep).floor();
+                if gap >= (total_bits - flat) as f64 {
+                    break;
                 }
+                flat += gap as usize;
+                let bit = flat % self.n;
+                arena.stream_mut(flat / self.n)[bit / 64] ^= 1u64 << (bit % 64);
+                flat += 1;
             }
         }
         Ok(arena)
@@ -314,6 +407,169 @@ impl StochasticConvLayer {
             width /= 2;
         }
         counts[0]
+    }
+
+    /// Whether the level-indexed AND-count fast path is active (TFF adder,
+    /// no fault injection, table within budget).
+    pub fn uses_count_table(&self) -> bool {
+        !self.and_lut.is_empty()
+    }
+
+    /// Folds one tree's counts for all `K = kernels` lanes at once,
+    /// ping-ponging between `a` (holding `padded × K` tap counts on entry;
+    /// lanes `ksq·K..` must be the tree's zero padding) and scratch `b`
+    /// (`(padded/2) × K`), writing the root counts to `out` (`K` lanes).
+    ///
+    /// Per node the lane op is `(x + y + S0) >> 1`, exactly
+    /// `TffAdder::add_count` for both rounding directions, and nodes are
+    /// numbered breadth-first as in `scnn_sim::TffAdderTree` — the lane
+    /// fold is bit-exact with [`fold_counts`](Self::fold_counts) per lane.
+    fn fold_count_lanes(&self, a: &mut [u16], b: &mut [u16], out: &mut [u16]) {
+        let lanes = self.bank.kernels;
+        let mut width = self.padded;
+        let mut node = 0usize;
+        let mut cur: &mut [u16] = a;
+        let mut nxt: &mut [u16] = b;
+        while width > 1 {
+            for i in 0..width / 2 {
+                let s0 = u16::from(self.options.s0_policy.state_for(node));
+                node += 1;
+                let (left, right) = cur[2 * i * lanes..(2 * i + 2) * lanes].split_at(lanes);
+                let dst = &mut nxt[i * lanes..(i + 1) * lanes];
+                for ((d, &x), &y) in dst.iter_mut().zip(left).zip(right) {
+                    *d = (x + y + s0) >> 1;
+                }
+            }
+            std::mem::swap(&mut cur, &mut nxt);
+            width /= 2;
+        }
+        out.copy_from_slice(&cur[..lanes]);
+    }
+
+    /// The count-domain fast path: quantize each pixel once, gather
+    /// per-tap AND counts for all kernels from the level-indexed table,
+    /// and fold both trees in kernel lanes.
+    fn forward_image_lut(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
+        if image.len() != IMAGE_SIDE * IMAGE_SIDE {
+            return Err(Error::config(format!(
+                "expected {} pixels, got {}",
+                IMAGE_SIDE * IMAGE_SIDE,
+                image.len()
+            )));
+        }
+        let bits = self.precision.bits();
+        let lanes = self.bank.kernels;
+        let ksq = self.bank.ksize * self.bank.ksize;
+        let row_len = ksq * lanes;
+        let levels: Vec<usize> = image.iter().map(|&v| pixel_level(v, bits) as usize).collect();
+        let n_out = IMAGE_SIDE * IMAGE_SIDE;
+        let scale = self.padded as f32;
+        let n_f = self.n as f32;
+        let mut out = vec![0.0f32; lanes * n_out];
+        // Tap-major lane buffers. Slots `ksq..padded` are the tree's zero
+        // padding: the gather rewrites every slot `< ksq` each window and
+        // the fold only writes slots `< padded/4` back into `pos`/`neg`,
+        // so the padding stays zero across windows.
+        let mut pos = vec![0u16; self.padded * lanes];
+        let mut neg = vec![0u16; self.padded * lanes];
+        let half = (self.padded / 2).max(1);
+        let mut pos_scratch = vec![0u16; half * lanes];
+        let mut neg_scratch = vec![0u16; half * lanes];
+        let mut pos_root = vec![0u16; lanes];
+        let mut neg_root = vec![0u16; lanes];
+        for oy in 0..IMAGE_SIDE {
+            for ox in 0..IMAGE_SIDE {
+                for (t, px) in window_taps(self.bank.ksize, oy, ox) {
+                    let pos_dst = &mut pos[t * lanes..(t + 1) * lanes];
+                    let neg_dst = &mut neg[t * lanes..(t + 1) * lanes];
+                    if let Some(p) = px {
+                        let row = &self.and_lut[levels[p] * row_len + t * lanes..][..lanes];
+                        let mask = &self.pos_mask[t * lanes..(t + 1) * lanes];
+                        for (((pd, nd), &c), &m) in
+                            pos_dst.iter_mut().zip(neg_dst.iter_mut()).zip(row).zip(mask)
+                        {
+                            let to_pos = c & m;
+                            *pd = to_pos;
+                            *nd = c - to_pos;
+                        }
+                    } else {
+                        pos_dst.fill(0);
+                        neg_dst.fill(0);
+                    }
+                }
+                self.fold_count_lanes(&mut pos, &mut pos_scratch, &mut pos_root);
+                self.fold_count_lanes(&mut neg, &mut neg_scratch, &mut neg_root);
+                let base = oy * IMAGE_SIDE + ox;
+                for k in 0..lanes {
+                    let diff = f32::from(pos_root[k]) - f32::from(neg_root[k]);
+                    let v = diff * scale / n_f + self.bank.offsets[k];
+                    out[k * n_out + base] = ternary(v, self.options.soft_threshold);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The bit-level streaming engine — the hardware reference model.
+    ///
+    /// [`forward_image`](FirstLayer::forward_image) dispatches here
+    /// whenever the count-domain table is unavailable (MUX adder, fault
+    /// injection, oversized table); it stays public so benches and
+    /// property tests can compare the two paths on any configuration
+    /// (they are bit-exact for the TFF engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the image has the wrong size.
+    pub fn forward_image_streaming(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
+        let pixels = self.pixel_streams(image)?;
+        let n_out = IMAGE_SIDE * IMAGE_SIDE;
+        let ksq = self.bank.ksize * self.bank.ksize;
+        let scale = self.padded as f32;
+        let n_f = self.n as f32;
+        let mut out = vec![0.0f32; self.bank.kernels * n_out];
+        let w = pixels.words_per_stream();
+        let mut scratch = vec![0u64; self.padded * w];
+        let mut next = vec![0u64; (self.padded / 2).max(1) * w];
+        let mut pos_counts = vec![0u64; self.padded];
+        let mut neg_counts = vec![0u64; self.padded];
+        for k in 0..self.bank.kernels {
+            for oy in 0..IMAGE_SIDE {
+                for ox in 0..IMAGE_SIDE {
+                    let (pos, neg) = match self.options.adder {
+                        AdderKind::Tff => {
+                            pos_counts.fill(0);
+                            neg_counts.fill(0);
+                            for (t, px) in window_taps(self.bank.ksize, oy, ox) {
+                                if let Some(p) = px {
+                                    let idx = k * ksq + t;
+                                    let c = and_count(
+                                        pixels.stream(p),
+                                        self.weight_streams.stream(idx),
+                                    );
+                                    if self.weight_neg[idx] {
+                                        neg_counts[t] = c;
+                                    } else {
+                                        pos_counts[t] = c;
+                                    }
+                                }
+                            }
+                            (self.fold_counts(&mut pos_counts), self.fold_counts(&mut neg_counts))
+                        }
+                        AdderKind::Mux => (
+                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 0),
+                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 1),
+                        ),
+                    };
+                    // Counter difference, re-normalized to scaled dot-product
+                    // units, plus the bias comparator offset.
+                    let diff_norm = (pos as f32 - neg as f32) * scale / n_f;
+                    let v = diff_norm + self.bank.offsets[k];
+                    out[k * n_out + oy * IMAGE_SIDE + ox] = ternary(v, self.options.soft_threshold);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// One window-kernel dot product via the MUX trees (bit-parallel).
@@ -376,54 +632,11 @@ fn padded_nodes(padded: usize) -> usize {
 
 impl FirstLayer for StochasticConvLayer {
     fn forward_image(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
-        let pixels = self.pixel_streams(image)?;
-        let n_out = IMAGE_SIDE * IMAGE_SIDE;
-        let ksq = self.bank.ksize * self.bank.ksize;
-        let scale = self.padded as f32;
-        let n_f = self.n as f32;
-        let mut out = vec![0.0f32; self.bank.kernels * n_out];
-        let w = pixels.words_per_stream();
-        let mut scratch = vec![0u64; self.padded * w];
-        let mut next = vec![0u64; (self.padded / 2).max(1) * w];
-        let mut pos_counts = vec![0u64; self.padded];
-        let mut neg_counts = vec![0u64; self.padded];
-        for k in 0..self.bank.kernels {
-            for oy in 0..IMAGE_SIDE {
-                for ox in 0..IMAGE_SIDE {
-                    let (pos, neg) = match self.options.adder {
-                        AdderKind::Tff => {
-                            pos_counts.fill(0);
-                            neg_counts.fill(0);
-                            for (t, px) in window_taps(self.bank.ksize, oy, ox) {
-                                if let Some(p) = px {
-                                    let idx = k * ksq + t;
-                                    let c = and_count(
-                                        pixels.stream(p),
-                                        self.weight_streams.stream(idx),
-                                    );
-                                    if self.weight_neg[idx] {
-                                        neg_counts[t] = c;
-                                    } else {
-                                        pos_counts[t] = c;
-                                    }
-                                }
-                            }
-                            (self.fold_counts(&mut pos_counts), self.fold_counts(&mut neg_counts))
-                        }
-                        AdderKind::Mux => (
-                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 0),
-                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 1),
-                        ),
-                    };
-                    // Counter difference, re-normalized to scaled dot-product
-                    // units, plus the bias comparator offset.
-                    let diff_norm = (pos as f32 - neg as f32) * scale / n_f;
-                    let v = diff_norm + self.bank.offsets[k];
-                    out[k * n_out + oy * IMAGE_SIDE + ox] = ternary(v, self.options.soft_threshold);
-                }
-            }
+        if self.uses_count_table() {
+            self.forward_image_lut(image)
+        } else {
+            self.forward_image_streaming(image)
         }
-        Ok(out)
     }
 
     fn kernels(&self) -> usize {
@@ -614,5 +827,75 @@ mod tests {
         let engine =
             StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::this_work()).unwrap();
         assert!(engine.forward_image(&[0.0; 10]).is_err());
+        assert!(engine.forward_image_streaming(&[0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn lut_and_streaming_paths_are_bit_exact() {
+        for bits in [2u32, 4, 6, 8] {
+            for policy in [S0Policy::AllZero, S0Policy::AllOne, S0Policy::Alternating] {
+                let opts = ScOptions { s0_policy: policy, ..ScOptions::this_work() };
+                let engine =
+                    StochasticConvLayer::from_conv(&conv(), precision(bits), opts).unwrap();
+                assert!(engine.uses_count_table(), "bits={bits}");
+                let img = test_image(u64::from(bits) * 11 + 1);
+                assert_eq!(
+                    engine.forward_image(&img).unwrap(),
+                    engine.forward_image_streaming(&img).unwrap(),
+                    "bits={bits} policy={policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_only_configurations_skip_the_table() {
+        let noisy = ScOptions { bit_error_rate: 0.01, ..ScOptions::this_work() };
+        let engine = StochasticConvLayer::from_conv(&conv(), precision(4), noisy).unwrap();
+        assert!(!engine.uses_count_table());
+        let mux =
+            StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::old_sc()).unwrap();
+        assert!(!mux.uses_count_table());
+    }
+
+    #[test]
+    fn deduped_pixel_streams_match_direct_conversion() {
+        // The per-distinct-level cache must reproduce exactly what one
+        // comparator conversion per pixel used to produce.
+        let engine =
+            StochasticConvLayer::from_conv(&conv(), precision(6), ScOptions::this_work()).unwrap();
+        let img = test_image(21);
+        let streams = engine.pixel_streams(&img).unwrap();
+        let bits = engine.precision().bits();
+        let mut direct = StreamArena::new(img.len(), engine.stream_len()).unwrap();
+        for (p, &v) in img.iter().enumerate() {
+            direct.write_from_levels(p, &engine.pixel_seq, pixel_level(v, bits));
+        }
+        assert_eq!(streams, direct);
+    }
+
+    #[test]
+    fn geometric_fault_injection_hits_expected_rate() {
+        // Flip count over many stream bits should concentrate near p.
+        let opts = ScOptions { bit_error_rate: 0.05, ..ScOptions::this_work() };
+        let engine = StochasticConvLayer::from_conv(&conv(), precision(8), opts).unwrap();
+        let clean_opts = ScOptions::this_work();
+        let clean_engine =
+            StochasticConvLayer::from_conv(&conv(), precision(8), clean_opts).unwrap();
+        let img = test_image(5);
+        let noisy = engine.pixel_streams(&img).unwrap();
+        let clean = clean_engine.pixel_streams(&img).unwrap();
+        let mut flips = 0u64;
+        for p in 0..img.len() {
+            flips += noisy
+                .stream(p)
+                .iter()
+                .zip(clean.stream(p))
+                .map(|(a, b)| u64::from((a ^ b).count_ones()))
+                .sum::<u64>();
+        }
+        let total = (img.len() * engine.stream_len()) as f64;
+        let rate = flips as f64 / total;
+        assert!((rate - 0.05).abs() < 0.01, "observed flip rate {rate}");
     }
 }

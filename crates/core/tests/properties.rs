@@ -7,7 +7,7 @@ use scnn_core::{
     StochasticConvLayer, StreamArena,
 };
 use scnn_nn::layers::{Conv2d, Padding};
-use scnn_sim::S0Policy;
+use scnn_sim::{S0Policy, TffAdderTree};
 
 fn small_conv(seed: u64) -> Conv2d {
     Conv2d::new(1, 4, 5, Padding::Same, seed).expect("valid conv")
@@ -139,6 +139,100 @@ proptest! {
         let m8 = mismatch(8);
         // Allow a small noise margin (3% of features).
         prop_assert!(m8 <= m4 + reference.len() / 33, "m4={m4} m8={m8}");
+    }
+
+    /// The level-indexed AND-count fast path is bit-exact with the
+    /// streaming engine for every precision, source pairing, S0 policy,
+    /// and seed.
+    #[test]
+    fn lut_engine_matches_streaming_engine(
+        seed in 0u64..10_000,
+        bits in prop_oneof![Just(4u32), Just(6), Just(8)],
+        pixel in prop_oneof![
+            Just(SourceKind::Ramp),
+            Just(SourceKind::VanDerCorput),
+            Just(SourceKind::Sobol2),
+            Just(SourceKind::Lfsr),
+            Just(SourceKind::Random)
+        ],
+        weight in prop_oneof![
+            Just(SourceKind::Ramp),
+            Just(SourceKind::VanDerCorput),
+            Just(SourceKind::Sobol2),
+            Just(SourceKind::Lfsr),
+            Just(SourceKind::Random)
+        ],
+        policy in prop_oneof![
+            Just(S0Policy::AllZero),
+            Just(S0Policy::AllOne),
+            Just(S0Policy::Alternating)
+        ],
+    ) {
+        let conv = small_conv(seed % 97 + 1);
+        let options = ScOptions {
+            pixel_source: pixel,
+            weight_source: weight,
+            s0_policy: policy,
+            seed,
+            ..ScOptions::this_work()
+        };
+        let engine =
+            StochasticConvLayer::from_conv(&conv, Precision::new(bits).unwrap(), options).unwrap();
+        prop_assert!(engine.uses_count_table());
+        let image = image_from_seed(seed ^ 0xABCD);
+        let fast = engine.forward_image(&image).unwrap();
+        let reference = engine.forward_image_streaming(&image).unwrap();
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// One window of the fast path reproduced from first principles through
+    /// `scnn_sim::TffAdderTree`: per-tap AND counts from the actual pixel
+    /// and weight streams, folded by the reference tree, biased and
+    /// ternarized — must equal `forward_image`'s feature.
+    #[test]
+    fn lut_forward_matches_sim_reference_tree(
+        seed in 0u64..2_000,
+        oy in 0usize..28,
+        ox in 0usize..28,
+        k in 0usize..4,
+    ) {
+        let conv = small_conv(seed % 31 + 1);
+        let options = ScOptions::this_work();
+        let precision = Precision::new(6).unwrap();
+        let engine = StochasticConvLayer::from_conv(&conv, precision, options).unwrap();
+        let image = image_from_seed(seed ^ 0x51D3);
+        let features = engine.forward_image(&image).unwrap();
+
+        // Reference: taps → AND counts → reference tree fold → bias → sign.
+        let pixels = engine.pixel_streams(&image).unwrap();
+        let ksq = engine.taps();
+        let mut pos = vec![0u64; ksq];
+        let mut neg = vec![0u64; ksq];
+        let pad = 2usize; // (5 − 1) / 2 for the 5×5 kernel
+        for t in 0..ksq {
+            let (iy, ix) = (oy as isize + (t / 5) as isize - pad as isize,
+                            ox as isize + (t % 5) as isize - pad as isize);
+            if (0..28).contains(&iy) && (0..28).contains(&ix) {
+                let p = iy as usize * 28 + ix as usize;
+                let c = and_count(pixels.stream(p), engine.weight_stream(k, t));
+                if engine.weight_is_negative(k, t) {
+                    neg[t] = c;
+                } else {
+                    pos[t] = c;
+                }
+            }
+        }
+        let tree = TffAdderTree::new(ksq, engine.options().s0_policy).unwrap();
+        let (pos_root, neg_root) = (tree.fold_counts(&pos), tree.fold_counts(&neg));
+        // Reconstruct the comparator offset exactly as KernelBank does.
+        let mut weights = conv.weights().data().to_vec();
+        let scales = scnn_nn::quant::scale_kernels(&mut weights, ksq);
+        let offset = conv.bias().data()[k] / scales[k];
+        let diff = (pos_root as f32 - neg_root as f32) * tree.scale() as f32
+            / engine.stream_len() as f32;
+        let v = diff + offset;
+        let expected = if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 };
+        prop_assert_eq!(features[k * 784 + oy * 28 + ox], expected);
     }
 
     /// All S0 policies and source pairings produce valid engines.

@@ -24,7 +24,11 @@ use std::fmt;
 /// [`Network`](crate::Network) drives `forward`/`backward` and hands
 /// parameter/gradient pairs to the optimizer through
 /// [`visit_params`](Layer::visit_params).
-pub trait Layer: fmt::Debug {
+///
+/// `Send + Sync` are supertraits so networks can be cloned into the scoped
+/// worker threads of [`parallel`](crate::parallel) for batch evaluation;
+/// every layer here is plain owned data, so the bounds are free.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Short human-readable layer name (for summaries).
     fn name(&self) -> &'static str;
 

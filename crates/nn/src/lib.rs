@@ -51,6 +51,7 @@ pub mod lenet;
 mod loss;
 mod network;
 pub mod optim;
+pub mod parallel;
 pub mod quant;
 pub mod serialize;
 mod tensor;

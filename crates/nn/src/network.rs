@@ -221,43 +221,65 @@ impl Network {
 
     /// Classification accuracy and loss over a whole dataset.
     ///
+    /// Batches are distributed over the [`parallel`](crate::parallel)
+    /// worker threads (one network clone per worker); per-batch results are
+    /// reduced in batch order, so the evaluation is identical for every
+    /// `SCNN_THREADS` setting.
+    ///
     /// # Errors
     ///
     /// Propagates layer shape errors.
     pub fn evaluate(&mut self, dataset: &Dataset, batch_size: usize) -> Result<Evaluation, Error> {
         assert!(batch_size > 0, "batch size must be positive");
         let indices: Vec<usize> = (0..dataset.len()).collect();
+        let batches: Vec<&[usize]> = indices.chunks(batch_size).collect();
+        let net: &Network = self;
+        let per_batch: Vec<Result<(usize, f64), Error>> =
+            crate::parallel::par_chunk_map(batches.len(), |range| {
+                let mut worker = net.clone();
+                range.map(|bi| worker.evaluate_batch(dataset, batches[bi])).collect()
+            });
         let mut correct = 0usize;
         let mut loss_total = 0.0f64;
-        let mut batches = 0usize;
-        for chunk in indices.chunks(batch_size) {
-            let (x, labels) = dataset.batch(chunk)?;
-            let logits = self.forward(&x, false)?;
-            let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
-            loss_total += f64::from(loss);
-            batches += 1;
-            let &[batch, classes] = logits.shape() else {
-                return Err(Error::shape("[batch, classes] logits", logits.shape()));
-            };
-            for (bi, &label) in labels.iter().enumerate().take(batch) {
-                let row = &logits.data()[bi * classes..(bi + 1) * classes];
-                let pred = row
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                    .map(|(i, _)| i)
-                    .expect("at least one class");
-                if pred == usize::from(label) {
-                    correct += 1;
-                }
-            }
+        for result in per_batch {
+            let (batch_correct, batch_loss) = result?;
+            correct += batch_correct;
+            loss_total += batch_loss;
         }
         Ok(Evaluation {
             accuracy: correct as f64 / dataset.len() as f64,
-            loss: (loss_total / batches.max(1) as f64) as f32,
+            loss: (loss_total / batches.len().max(1) as f64) as f32,
             correct,
             total: dataset.len(),
         })
+    }
+
+    /// One evaluation batch: forward, loss, and correct-prediction count.
+    fn evaluate_batch(
+        &mut self,
+        dataset: &Dataset,
+        chunk: &[usize],
+    ) -> Result<(usize, f64), Error> {
+        let (x, labels) = dataset.batch(chunk)?;
+        let logits = self.forward(&x, false)?;
+        let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
+        let &[batch, classes] = logits.shape() else {
+            return Err(Error::shape("[batch, classes] logits", logits.shape()));
+        };
+        let mut correct = 0usize;
+        for (bi, &label) in labels.iter().enumerate().take(batch) {
+            let row = &logits.data()[bi * classes..(bi + 1) * classes];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("at least one class");
+            if pred == usize::from(label) {
+                correct += 1;
+            }
+        }
+        Ok((correct, f64::from(loss)))
     }
 
     /// Decomposes the network into its boxed layers (for recomposing heads

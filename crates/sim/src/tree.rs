@@ -105,6 +105,11 @@ impl TffAdderTree {
 
     /// Streamwise (bit-level) tree evaluation — the hardware reference model.
     ///
+    /// Folds in place over one padded scratch buffer (node `i`'s output
+    /// overwrites slot `i`, which level processing has already consumed),
+    /// so the only allocations are the buffer and each node's output
+    /// stream — no per-level `Vec`s.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::LengthMismatch`] on inconsistent stream lengths, or
@@ -118,41 +123,45 @@ impl TffAdderTree {
             });
         }
         let len = inputs[0].len();
-        let mut level: Vec<BitStream> = inputs.to_vec();
+        let mut level: Vec<BitStream> = Vec::with_capacity(self.padded);
+        level.extend_from_slice(inputs);
         level.resize(self.padded, BitStream::zeros(len));
+        let mut width = self.padded;
         let mut node_index = 0usize;
-        while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len() / 2);
-            for pair in level.chunks(2) {
+        while width > 1 {
+            for i in 0..width / 2 {
                 let adder = TffAdder::new(self.policy.state_for(node_index));
                 node_index += 1;
-                next.push(adder.add(&pair[0], &pair[1])?);
+                let sum = adder.add(&level[2 * i], &level[2 * i + 1])?;
+                level[i] = sum;
             }
-            level = next;
+            width /= 2;
         }
-        Ok(level.pop().expect("non-empty tree"))
+        Ok(level.swap_remove(0))
     }
 
     /// Closed-form output count from the input counts only — the packed
     /// fast path. Exactly equivalent to counting
     /// [`add_streams`](Self::add_streams)' output (property-tested).
+    /// Folds in place over one padded scratch buffer.
     ///
     /// # Panics
     ///
     /// Panics if `counts.len() != num_inputs`.
     pub fn fold_counts(&self, counts: &[u64]) -> u64 {
         assert_eq!(counts.len(), self.num_inputs, "count vector length mismatch");
-        let mut level: Vec<u64> = counts.to_vec();
+        let mut level: Vec<u64> = Vec::with_capacity(self.padded);
+        level.extend_from_slice(counts);
         level.resize(self.padded, 0);
+        let mut width = self.padded;
         let mut node_index = 0usize;
-        while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len() / 2);
-            for pair in level.chunks(2) {
+        while width > 1 {
+            for i in 0..width / 2 {
                 let adder = TffAdder::new(self.policy.state_for(node_index));
                 node_index += 1;
-                next.push(adder.add_count(pair[0], pair[1]));
+                level[i] = adder.add_count(level[2 * i], level[2 * i + 1]);
             }
-            level = next;
+            width /= 2;
         }
         level[0]
     }
@@ -165,6 +174,14 @@ impl TffAdderTree {
 /// Every level discards half the surviving input bits, so errors compound
 /// with depth (§III motivation). Unlike the TFF tree there is no exact count
 /// shortcut: the output depends on *which* bits the selects sample.
+///
+/// The per-node select streams are deterministic functions of the
+/// construction parameters (seed, width) and the stream length, so they
+/// are generated once per distinct length and cached — the hardware's
+/// fixed select register bank — instead of re-running every node's LFSR on
+/// each [`add_streams`](Self::add_streams) call. (The length is only known
+/// at the first call, so "at construction" is realized lazily; repeated
+/// calls hit the cache.)
 ///
 /// # Example
 ///
@@ -180,12 +197,28 @@ impl TffAdderTree {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MuxAdderTree {
     num_inputs: usize,
     padded: usize,
     select_width: u32,
     seed: u64,
+    /// Cached select-stream banks keyed by stream length.
+    select_cache: std::sync::Mutex<Vec<(usize, std::sync::Arc<Vec<BitStream>>)>>,
+}
+
+impl Clone for MuxAdderTree {
+    fn clone(&self) -> Self {
+        Self {
+            num_inputs: self.num_inputs,
+            padded: self.padded,
+            select_width: self.select_width,
+            seed: self.seed,
+            select_cache: std::sync::Mutex::new(
+                self.select_cache.lock().expect("select cache poisoned").clone(),
+            ),
+        }
+    }
 }
 
 impl MuxAdderTree {
@@ -204,7 +237,13 @@ impl MuxAdderTree {
         if !(3..=32).contains(&select_width) {
             return Err(Error::InvalidPrecision { bits: select_width });
         }
-        Ok(Self { num_inputs, padded: num_inputs.next_power_of_two(), select_width, seed })
+        Ok(Self {
+            num_inputs,
+            padded: num_inputs.next_power_of_two(),
+            select_width,
+            seed,
+            select_cache: std::sync::Mutex::new(Vec::new()),
+        })
     }
 
     /// The number of (unpadded) inputs.
@@ -227,8 +266,8 @@ impl MuxAdderTree {
         self.padded - 1
     }
 
-    /// The select stream for node `index`, of length `len`.
-    fn select_stream(&self, index: usize, len: usize) -> BitStream {
+    /// Generates the select stream for node `index`, of length `len`.
+    fn generate_select_stream(&self, index: usize, len: usize) -> BitStream {
         let mask = (1u64 << self.select_width) - 1;
         let mut seed = (self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) & mask;
         if seed == 0 {
@@ -237,6 +276,20 @@ impl MuxAdderTree {
         let lfsr = Lfsr::new(self.select_width, seed).expect("validated width and seed");
         let mut sng = Sng::new(lfsr);
         sng.generate_level(1u64 << (self.select_width - 1), len)
+    }
+
+    /// The whole select bank (one stream per node) for stream length `len`,
+    /// generated once and cached.
+    fn select_bank(&self, len: usize) -> std::sync::Arc<Vec<BitStream>> {
+        let mut cache = self.select_cache.lock().expect("select cache poisoned");
+        if let Some((_, bank)) = cache.iter().find(|(l, _)| *l == len) {
+            return bank.clone();
+        }
+        let bank = std::sync::Arc::new(
+            (0..self.num_nodes()).map(|i| self.generate_select_stream(i, len)).collect::<Vec<_>>(),
+        );
+        cache.push((len, bank.clone()));
+        bank
     }
 
     /// Streamwise tree evaluation.
@@ -254,19 +307,21 @@ impl MuxAdderTree {
             });
         }
         let len = inputs[0].len();
-        let mut level: Vec<BitStream> = inputs.to_vec();
+        let selects = self.select_bank(len);
+        let mut level: Vec<BitStream> = Vec::with_capacity(self.padded);
+        level.extend_from_slice(inputs);
         level.resize(self.padded, BitStream::zeros(len));
+        let mut width = self.padded;
         let mut node_index = 0usize;
-        while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len() / 2);
-            for pair in level.chunks(2) {
-                let select = self.select_stream(node_index, len);
+        while width > 1 {
+            for i in 0..width / 2 {
+                let sum = MuxAdder.add(&level[2 * i], &level[2 * i + 1], &selects[node_index])?;
                 node_index += 1;
-                next.push(MuxAdder.add(&pair[0], &pair[1], &select)?);
+                level[i] = sum;
             }
-            level = next;
+            width /= 2;
         }
-        Ok(level.pop().expect("non-empty tree"))
+        Ok(level.swap_remove(0))
     }
 }
 
@@ -376,5 +431,25 @@ mod tests {
     fn fold_counts_validates_length() {
         let tree = TffAdderTree::new(4, S0Policy::AllZero).unwrap();
         let _ = tree.fold_counts(&[1, 2]);
+    }
+
+    #[test]
+    fn mux_select_cache_is_transparent() {
+        // Repeated calls (cache hits), fresh trees (cache misses), clones,
+        // and mixed lengths must all agree.
+        let inputs = |len: usize, n: usize| -> Vec<BitStream> {
+            (0..n).map(|k| BitStream::from_fn(len, |i| (i * 13 + k * 7) % 5 < 2)).collect()
+        };
+        let tree = MuxAdderTree::new(5, 8, 99).unwrap();
+        let short = inputs(64, 5);
+        let long = inputs(256, 5);
+        let first_short = tree.add_streams(&short).unwrap();
+        let first_long = tree.add_streams(&long).unwrap();
+        assert_eq!(tree.add_streams(&short).unwrap(), first_short);
+        assert_eq!(tree.add_streams(&long).unwrap(), first_long);
+        let fresh = MuxAdderTree::new(5, 8, 99).unwrap();
+        assert_eq!(fresh.add_streams(&short).unwrap(), first_short);
+        let cloned = tree.clone();
+        assert_eq!(cloned.add_streams(&long).unwrap(), first_long);
     }
 }
