@@ -1,0 +1,60 @@
+//! Criterion bench for the stochastic dense layer's two unipolar
+//! execution paths: the shared count-domain table (`forward`, via
+//! `scnn_core::counts`) versus the packed bit-level streaming reference
+//! (`forward_streaming`), across precisions.
+//!
+//! Like `forward_image`, the measured times and derived speedups are
+//! written to `BENCH.json` for the CI `bench-timings` artifact. The
+//! acceptance bar for the dense count-domain port is a ≥ 5× speedup at
+//! 8-bit precision.
+//!
+//! ```text
+//! cargo bench -p scnn-bench --bench dense_forward            # measured
+//! SCNN_BENCH_QUICK=1 cargo bench -p scnn-bench --bench dense_forward
+//! ```
+
+use criterion::{BenchmarkId, Criterion};
+use scnn_bench::report::BenchJson;
+use scnn_core::ScenarioSpec;
+use scnn_nn::layers::Dense;
+use std::hint::black_box;
+use std::time::Duration;
+
+const PRECISIONS: [u32; 3] = [4, 6, 8];
+
+fn main() {
+    // The ablation_fully_stochastic layer-1 shape: 784 pixels → 48 neurons.
+    let dense = Dense::new(784, 48, 11);
+    let input: Vec<f32> = (0..784).map(|i| (i % 251) as f32 / 250.0).collect();
+    let path = BenchJson::default_path();
+    let mut json = BenchJson::load(&path);
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("dense_forward");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for bits in PRECISIONS {
+        let layer = ScenarioSpec::this_work(bits).dense_layer(&dense).expect("engine");
+        assert!(layer.uses_count_table(), "dense engine at {bits}-bit must build the count table");
+        group.bench_with_input(BenchmarkId::new("unipolar_lut", bits), &layer, |b, l| {
+            b.iter(|| l.forward(black_box(&input)).expect("forward"));
+            json.record(&format!("dense_forward/unipolar_lut/{bits}"), b.last_ns_per_iter);
+        });
+        group.bench_with_input(BenchmarkId::new("unipolar_streaming", bits), &layer, |b, l| {
+            b.iter(|| l.forward_streaming(black_box(&input)).expect("forward"));
+            json.record(&format!("dense_forward/unipolar_streaming/{bits}"), b.last_ns_per_iter);
+        });
+    }
+    group.finish();
+
+    for bits in PRECISIONS {
+        let lut = json.get(&format!("dense_forward/unipolar_lut/{bits}"));
+        let streaming = json.get(&format!("dense_forward/unipolar_streaming/{bits}"));
+        if let (Some(lut), Some(streaming)) = (lut, streaming) {
+            let speedup = streaming / lut;
+            json.record(&format!("dense_forward/speedup_lut_x/{bits}"), speedup);
+            println!("dense_forward: {bits}-bit count-table speedup {speedup:.1}x over streaming");
+        }
+    }
+    json.write(&path).expect("write BENCH.json");
+    println!("timings recorded in {}", path.display());
+}

@@ -11,6 +11,7 @@
 //! ```
 
 use scnn_bench::report::{sci, Table};
+use scnn_bench::setup::Effort;
 use scnn_bitstream::{BitStream, Precision};
 use scnn_rng::{NumberSource, Sng, Sobol2, VanDerCorput};
 use scnn_sim::{MuxAdderTree, S0Policy, TffAdderTree};
@@ -72,7 +73,7 @@ fn main() {
 
 fn run() {
     let precision = Precision::new(8).expect("valid");
-    let trials = 200;
+    let trials = Effort::from_args().trials(200);
     let mut table = Table::new(vec![
         "inputs k".into(),
         "MUX tree".into(),

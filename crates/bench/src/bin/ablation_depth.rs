@@ -15,6 +15,7 @@
 //! ```
 
 use scnn_bench::report::{sci, Table};
+use scnn_bench::setup::Effort;
 use scnn_bitstream::{BitStream, Precision};
 use scnn_rng::{Lfsr, NumberSource, Sng, Sobol2, VanDerCorput};
 use scnn_sim::{MuxAdder, TffAdder};
@@ -75,7 +76,7 @@ fn main() {
 
 fn run() {
     let precision = Precision::new(8).expect("valid");
-    let trials = 400;
+    let trials = Effort::from_args().trials(400);
     let mut table = Table::new(vec![
         "cascade depth L".into(),
         "MUX adder chain".into(),

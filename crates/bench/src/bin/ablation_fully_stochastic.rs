@@ -17,8 +17,8 @@
 //! ```
 
 use scnn_bench::report::{pct, Table};
-use scnn_bitstream::Precision;
-use scnn_core::{DenseInput, StochasticDenseLayer};
+use scnn_bench::setup::Effort;
+use scnn_core::{DenseInput, ScenarioSpec};
 use scnn_nn::data::load_or_synthesize;
 use scnn_nn::layers::{Dense, Flatten, Layer, Sign};
 use scnn_nn::optim::Adam;
@@ -28,14 +28,14 @@ use std::path::Path;
 
 const HIDDEN: usize = 48;
 
-fn train_mlp(train: &scnn_nn::data::Dataset) -> Network {
+fn train_mlp(train: &scnn_nn::data::Dataset, epochs: usize) -> Network {
     let mut net = Network::new();
     net.push(Flatten::new());
     net.push(Dense::new(784, HIDDEN, 11));
     net.push(Sign::new(0.0));
     net.push(Dense::new(HIDDEN, 10, 12));
     let mut opt = Adam::new(1e-3);
-    for epoch in 0..4 {
+    for epoch in 0..epochs as u64 {
         net.train_epoch(train, 32, &mut opt, epoch).expect("training");
     }
     net
@@ -85,12 +85,22 @@ fn stochastic_accuracy(
     bits: u32,
     sc_layer2: bool,
 ) -> f64 {
-    let precision = Precision::new(bits).expect("valid");
-    let l1 =
-        StochasticDenseLayer::from_dense(&dense_at(net, 1), precision, DenseInput::Unipolar, 1)
-            .expect("engine");
+    // Scenario literals: layer 1 consumes unipolar pixels, layer 2 the
+    // re-binarized ternary activations.
+    let l1 = ScenarioSpec::this_work(bits)
+        .customize()
+        .input_mode(DenseInput::Unipolar)
+        .seed(1)
+        .build()
+        .dense_layer(&dense_at(net, 1))
+        .expect("engine");
     let l2_float = dense_at(net, 3);
-    let l2_sc = StochasticDenseLayer::from_dense(&l2_float, precision, DenseInput::Ternary, 2)
+    let l2_sc = ScenarioSpec::this_work(bits)
+        .customize()
+        .input_mode(DenseInput::Ternary)
+        .seed(2)
+        .build()
+        .dense_layer(&l2_float)
         .expect("engine");
     let hits = scnn_core::parallel::par_chunk_map(test.len(), |range| {
         let mut l2_float = l2_float.clone();
@@ -135,10 +145,18 @@ fn main() {
 }
 
 fn run() {
-    let (train, test, source) =
-        load_or_synthesize(Path::new("data/mnist"), 1000, 300, 31).expect("data");
-    eprintln!("[fully-sc] data source: {source}; training 784→{HIDDEN}→10 MLP…");
-    let net = train_mlp(&train);
+    let effort = Effort::from_args();
+    let (train, test, source) = load_or_synthesize(
+        Path::new("data/mnist"),
+        effort.mlp_train_size(),
+        effort.mlp_test_size(),
+        31,
+    )
+    .expect("data");
+    eprintln!(
+        "[fully-sc] data source: {source} ({effort:?} effort); training 784→{HIDDEN}→10 MLP…"
+    );
+    let net = train_mlp(&train, effort.mlp_epochs());
     let mut float_net = net.clone();
     let float_acc = float_net.evaluate(&test, 64).expect("eval").accuracy;
     eprintln!("[fully-sc] float MLP accuracy: {}", pct(float_acc));

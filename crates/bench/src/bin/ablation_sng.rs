@@ -10,8 +10,7 @@
 //! ```
 
 use scnn_bench::report::{pct, Table};
-use scnn_bitstream::Precision;
-use scnn_core::{BinaryConvLayer, FirstLayer, ScOptions, SourceKind, StochasticConvLayer};
+use scnn_core::{ScenarioSpec, SourceKind};
 use scnn_nn::layers::{Conv2d, Padding};
 
 /// Full-dynamic-range test patterns (deterministic). Digit images are
@@ -30,21 +29,13 @@ fn test_pattern(seed: u64) -> Vec<f32> {
         .collect()
 }
 
-fn mismatch_rate(
-    conv: &Conv2d,
-    images: &[&[f32]],
-    precision: Precision,
-    pixel_source: SourceKind,
-    weight_source: SourceKind,
-    base_options: ScOptions,
-) -> f64 {
+fn mismatch_rate(conv: &Conv2d, images: &[&[f32]], spec: &ScenarioSpec) -> f64 {
     // Reference: the exact fixed-point engine at the *same* precision, so
     // quantization error (identical across schemes) cancels and only the
     // stochastic stream error remains.
     let reference_engine =
-        BinaryConvLayer::from_conv(conv, precision, 0.0).expect("reference engine");
-    let options = ScOptions { pixel_source, weight_source, ..base_options };
-    let engine = StochasticConvLayer::from_conv(conv, precision, options).expect("engine");
+        ScenarioSpec::binary(spec.bits).first_layer(conv).expect("reference engine");
+    let engine = spec.first_layer(conv).expect("engine");
     // Engines are immutable: one per-image task per parallel worker.
     let per_image = scnn_core::parallel::par_map_range(images.len(), |i| {
         let reference = reference_engine.forward_image(images[i]).expect("forward");
@@ -66,28 +57,26 @@ fn run() {
     let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
     let images: Vec<&[f32]> = patterns.iter().map(Vec::as_slice).collect();
 
+    // One scenario literal per table row (bits filled per column); adding
+    // a pairing is adding a line here.
+    let scenario = |base: ScenarioSpec, px: SourceKind, wt: SourceKind| {
+        base.customize().pixel_source(px).weight_source(wt).build()
+    };
+    let this_work = ScenarioSpec::this_work(8);
+    let old_sc = ScenarioSpec::old_sc(8);
     let pairings = [
-        ("TFF tree, LFSR + LFSR", SourceKind::Lfsr, SourceKind::Lfsr, ScOptions::this_work()),
-        (
-            "TFF tree, random + random",
-            SourceKind::Random,
-            SourceKind::Random,
-            ScOptions::this_work(),
-        ),
+        ("TFF tree, LFSR + LFSR", scenario(this_work, SourceKind::Lfsr, SourceKind::Lfsr)),
+        ("TFF tree, random + random", scenario(this_work, SourceKind::Random, SourceKind::Random)),
         (
             "TFF tree, VDC + Sobol'",
-            SourceKind::VanDerCorput,
-            SourceKind::Sobol2,
-            ScOptions::this_work(),
+            scenario(this_work, SourceKind::VanDerCorput, SourceKind::Sobol2),
         ),
         (
             "TFF tree, ramp + Sobol' (this work)",
-            SourceKind::Ramp,
-            SourceKind::Sobol2,
-            ScOptions::this_work(),
+            scenario(this_work, SourceKind::Ramp, SourceKind::Sobol2),
         ),
-        ("MUX tree, LFSR + LFSR (old SC)", SourceKind::Lfsr, SourceKind::Lfsr, ScOptions::old_sc()),
-        ("MUX tree, ramp + Sobol'", SourceKind::Ramp, SourceKind::Sobol2, ScOptions::old_sc()),
+        ("MUX tree, LFSR + LFSR (old SC)", scenario(old_sc, SourceKind::Lfsr, SourceKind::Lfsr)),
+        ("MUX tree, ramp + Sobol'", scenario(old_sc, SourceKind::Ramp, SourceKind::Sobol2)),
     ];
     let mut table = Table::new(vec![
         "Pixel/weight sources".into(),
@@ -95,11 +84,11 @@ fn run() {
         "6-bit mismatch".into(),
         "8-bit mismatch".into(),
     ]);
-    for (label, px, wt, base) in pairings {
+    for (label, base_spec) in pairings {
         let mut cells = vec![label.to_string()];
         for bits in [4u32, 6, 8] {
-            let p = Precision::new(bits).expect("valid");
-            cells.push(pct(mismatch_rate(&conv, &images, p, px, wt, base)));
+            let spec = base_spec.customize().bits(bits).build();
+            cells.push(pct(mismatch_rate(&conv, &images, &spec)));
         }
         table.row(cells);
     }

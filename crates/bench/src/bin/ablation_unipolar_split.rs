@@ -13,6 +13,7 @@
 //! ```
 
 use scnn_bench::report::{pct, Table};
+use scnn_bench::setup::Effort;
 use scnn_bitstream::{BitStream, Precision};
 use scnn_rng::{NumberSource, Ramp, Sng, Sobol2};
 use scnn_sim::{S0Policy, TffAdderTree};
@@ -104,7 +105,7 @@ fn main() {
 }
 
 fn run() {
-    let trials = 400u64;
+    let trials = Effort::from_args().trials(400);
     let mut table = Table::new(vec![
         "precision".into(),
         "split sign errors".into(),

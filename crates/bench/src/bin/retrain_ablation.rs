@@ -9,8 +9,7 @@
 
 use scnn_bench::report::{pct, Table};
 use scnn_bench::setup::{prepare, Effort};
-use scnn_bitstream::Precision;
-use scnn_core::{retrain, BinaryConvLayer, RetrainConfig, ScOptions, StochasticConvLayer};
+use scnn_core::{RetrainConfig, ScenarioSpec};
 
 fn main() {
     scnn_bench::report::timed_run("retrain_ablation", run);
@@ -27,34 +26,11 @@ fn run() {
         "retrained".into(),
         "recovered (pp)".into(),
     ]);
-    for bits in (2..=8).rev().step_by(2) {
-        let precision = Precision::new(bits).expect("valid");
-        for (name, engine) in [
-            (
-                "binary",
-                Box::new(
-                    BinaryConvLayer::from_conv(bench.base.conv1(), precision, 0.0).expect("engine"),
-                ) as Box<dyn scnn_core::FirstLayer>,
-            ),
-            (
-                "this-work",
-                Box::new(
-                    StochasticConvLayer::from_conv(
-                        bench.base.conv1(),
-                        precision,
-                        ScOptions::this_work(),
-                    )
-                    .expect("engine"),
-                ),
-            ),
-        ] {
-            let _ = name;
-            let label = engine.label();
-            let (_, report) =
-                retrain(engine, bench.base.tail_clone(), &bench.train, &bench.test, &retrain_cfg)
-                    .expect("retrain");
+    for bits in (2..=8u32).rev().step_by(2) {
+        for spec in [ScenarioSpec::binary(bits), ScenarioSpec::this_work(bits)] {
+            let (_, report) = bench.retrain_scenario(&spec, &retrain_cfg);
             table.row(vec![
-                label,
+                spec.label(),
                 pct(report.before.misclassification_rate()),
                 pct(report.after.misclassification_rate()),
                 format!("{:+.2}", report.recovered_points()),

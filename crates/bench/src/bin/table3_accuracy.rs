@@ -15,10 +15,7 @@
 
 use scnn_bench::report::{pct, Table};
 use scnn_bench::setup::{prepare, Effort};
-use scnn_bitstream::Precision;
-use scnn_core::{
-    retrain, BinaryConvLayer, FirstLayer, RetrainConfig, ScOptions, StochasticConvLayer,
-};
+use scnn_core::{RetrainConfig, ScenarioSpec};
 
 /// Paper Table 3 misclassification reference (percent) per design row,
 /// bits 8..=2 in descending order.
@@ -34,12 +31,21 @@ fn main() {
     scnn_bench::report::timed_run("table3_accuracy", run);
 }
 
+/// A Table 3 design row: display name plus its per-precision scenario.
+type Design = (&'static str, fn(u32) -> ScenarioSpec);
+
+/// The three Table 3 design rows as scenario constructors — adding a row
+/// is adding a `(name, ScenarioSpec-per-bits)` pair here.
+const DESIGNS: [Design; 3] = [
+    ("Binary", ScenarioSpec::binary),
+    ("Old SC", ScenarioSpec::old_sc),
+    ("This Work", ScenarioSpec::this_work),
+];
+
 fn run() {
     let effort = Effort::from_args();
     let bench = prepare(effort);
     let retrain_cfg = RetrainConfig { epochs: effort.retrain_epochs(), ..RetrainConfig::default() };
-    let precisions: Vec<Precision> =
-        (2..=8).rev().map(|b| Precision::new(b).expect("valid")).collect();
 
     let mut table = Table::new(vec![
         "Design".into(),
@@ -52,36 +58,14 @@ fn run() {
         "2 bits".into(),
     ]);
 
-    for design in ["Binary", "Old SC", "This Work"] {
+    for (design, scenario) in DESIGNS {
         let mut cells = vec![design.to_string()];
-        for &precision in &precisions {
-            let engine: Box<dyn FirstLayer> = match design {
-                "Binary" => Box::new(
-                    BinaryConvLayer::from_conv(bench.base.conv1(), precision, 0.0).expect("engine"),
-                ),
-                "Old SC" => Box::new(
-                    StochasticConvLayer::from_conv(
-                        bench.base.conv1(),
-                        precision,
-                        ScOptions::old_sc(),
-                    )
-                    .expect("engine"),
-                ),
-                _ => Box::new(
-                    StochasticConvLayer::from_conv(
-                        bench.base.conv1(),
-                        precision,
-                        ScOptions::this_work(),
-                    )
-                    .expect("engine"),
-                ),
-            };
-            let label = engine.label();
-            let (_, report) =
-                retrain(engine, bench.base.tail_clone(), &bench.train, &bench.test, &retrain_cfg)
-                    .expect("retraining failed");
+        for bits in (2..=8u32).rev() {
+            let spec = scenario(bits);
+            let (_, report) = bench.retrain_scenario(&spec, &retrain_cfg);
             eprintln!(
-                "[table3] {label}: {} → {} after retraining",
+                "[table3] {}: {} → {} after retraining",
+                spec.label(),
                 pct(report.before.misclassification_rate()),
                 pct(report.after.misclassification_rate()),
             );

@@ -8,8 +8,9 @@
 //! ```
 
 use scnn_bench::report::Table;
+use scnn_bench::setup::Effort;
 use scnn_bitstream::Precision;
-use scnn_core::{ScOptions, StochasticConvLayer};
+use scnn_core::ScenarioSpec;
 use scnn_hw::activity::{measure_binary_activity, measure_sc_activity};
 use scnn_hw::table3::{compute, paper_precisions, DesignPoint};
 use scnn_hw::CellLibrary;
@@ -73,19 +74,22 @@ fn main() {
 
 fn run() {
     // Activity factors from real traces (paper §VI): a trained-shape conv
-    // and sample images through the actual stream simulator.
+    // and sample images through the actual stream simulator, at sizes set
+    // by the harness effort level (smoke/quick/full).
+    let effort = Effort::from_args();
+    let (train_size, test_size) = effort.activity_dataset_sizes();
     let (train, _test, source) =
-        load_or_synthesize(Path::new("data/mnist"), 16, 8, 7).expect("data");
+        load_or_synthesize(Path::new("data/mnist"), train_size, test_size, 7).expect("data");
     let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
-    let engine = StochasticConvLayer::from_conv(
-        &conv,
+    let engine = ScenarioSpec::this_work(8).stochastic_conv(&conv).expect("engine");
+    let (sc_images, sc_windows) = effort.sc_activity_samples();
+    let sc_act = measure_sc_activity(&engine, &train, sc_images, sc_windows).expect("sc activity");
+    let bin_act = measure_binary_activity(
+        &train,
         Precision::new(8).expect("valid"),
-        ScOptions::this_work(),
-    )
-    .expect("engine");
-    let sc_act = measure_sc_activity(&engine, &train, 8, 24).expect("sc activity");
-    let bin_act = measure_binary_activity(&train, Precision::new(8).expect("valid"), 16);
-    eprintln!("[table3_hw] data source: {source}");
+        effort.binary_activity_images(),
+    );
+    eprintln!("[table3_hw] data source: {source} ({effort:?} effort)");
     eprintln!("[table3_hw] measured SC activity: {sc_act:?}");
     eprintln!("[table3_hw] measured binary activity: {bin_act:?}");
 

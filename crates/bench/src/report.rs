@@ -78,6 +78,16 @@ impl BenchJson {
         self.entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the record holds no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Renders the record as a JSON object, names sorted for stable diffs.
     pub fn render(&self) -> String {
         let mut sorted: Vec<&(String, f64)> = self.entries.iter().collect();
@@ -146,6 +156,68 @@ pub fn timed_run(name: &str, run: impl FnOnce()) {
     let stopwatch = Stopwatch::start();
     run();
     record_run_ns(&format!("bin/{name}"), stopwatch.elapsed_ns());
+}
+
+/// One perf-gate violation: a recorded timing that grew by more than the
+/// allowed factor relative to the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline value (nanoseconds).
+    pub baseline: f64,
+    /// Current value (nanoseconds).
+    pub current: f64,
+}
+
+impl Regression {
+    /// `current / baseline`.
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+}
+
+/// Compares two timing records and returns every entry whose current value
+/// exceeds `factor ×` its baseline — the CI perf gate's core.
+///
+/// Only timings are gated: derived ratio entries (names containing
+/// `"speedup"`, where *higher* is better) and entries missing from either
+/// record are skipped, so adding or removing benchmarks never fails the
+/// gate. Non-positive baselines are skipped too (a zero timing carries no
+/// signal).
+///
+/// # Example
+///
+/// ```
+/// use scnn_bench::report::{regressions, BenchJson};
+///
+/// let mut baseline = BenchJson::new();
+/// baseline.record("bin/table1", 1e9);
+/// baseline.record("forward_image/speedup_tff_lut_x/8", 12.0);
+/// let mut current = BenchJson::new();
+/// current.record("bin/table1", 2.5e9);
+/// current.record("forward_image/speedup_tff_lut_x/8", 30.0);
+/// let found = regressions(&baseline, &current, 2.0);
+/// assert_eq!(found.len(), 1); // the speedup ratio is not a timing
+/// assert_eq!(found[0].name, "bin/table1");
+/// assert!((found[0].ratio() - 2.5).abs() < 1e-9);
+/// ```
+pub fn regressions(baseline: &BenchJson, current: &BenchJson, factor: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (name, base_value) in &baseline.entries {
+        if name.contains("speedup") || *base_value <= 0.0 {
+            continue;
+        }
+        let Some(current_value) = current.get(name) else { continue };
+        if current_value > base_value * factor {
+            out.push(Regression {
+                name: name.clone(),
+                baseline: *base_value,
+                current: current_value,
+            });
+        }
+    }
+    out
 }
 
 /// A markdown table builder.
@@ -276,6 +348,28 @@ mod tests {
     fn bench_json_load_missing_file_is_empty() {
         let j = BenchJson::load(std::path::Path::new("/nonexistent/BENCH.json"));
         assert_eq!(j.get("anything"), None);
+    }
+
+    #[test]
+    fn regressions_gate_only_real_timing_growth() {
+        let mut baseline = BenchJson::new();
+        baseline.record("bin/a", 100.0);
+        baseline.record("bin/b", 100.0);
+        baseline.record("bin/gone", 100.0);
+        baseline.record("x/speedup_y/8", 10.0);
+        baseline.record("bin/zero", 0.0);
+        let mut current = BenchJson::new();
+        current.record("bin/a", 199.0); // < 2× — fine
+        current.record("bin/b", 201.0); // > 2× — regression
+        current.record("bin/new", 1e12); // no baseline — skipped
+        current.record("x/speedup_y/8", 100.0); // ratio entry — skipped
+        current.record("bin/zero", 50.0); // zero baseline — skipped
+        let found = regressions(&baseline, &current, 2.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "bin/b");
+        assert_eq!(found[0].baseline, 100.0);
+        assert_eq!(found[0].current, 201.0);
+        assert!(regressions(&baseline, &current, 3.0).is_empty());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Dataset and base-model preparation shared by the table harnesses.
 
-use scnn_core::{train_base, BaseModel, TrainConfig};
+use scnn_core::{
+    retrain, train_base, BaseModel, FirstLayer, HybridLenet, RetrainConfig, RetrainReport,
+    ScenarioSpec, TrainConfig,
+};
 use scnn_nn::data::{load_or_synthesize, DataSource, Dataset};
 use std::path::Path;
 
@@ -78,6 +81,74 @@ impl Effort {
             Effort::Full => 4,
         }
     }
+
+    /// Training-set size for the `ablation_fully_stochastic` MLP (that
+    /// harness trains its own small model, not the LeNet base).
+    pub fn mlp_train_size(self) -> usize {
+        match self {
+            Effort::Smoke => 200,
+            Effort::Quick => 1000,
+            Effort::Full => 4000,
+        }
+    }
+
+    /// Test-set size for the `ablation_fully_stochastic` MLP.
+    pub fn mlp_test_size(self) -> usize {
+        match self {
+            Effort::Smoke => 80,
+            Effort::Quick => 300,
+            Effort::Full => 1000,
+        }
+    }
+
+    /// MLP training epochs for `ablation_fully_stochastic`.
+    pub fn mlp_epochs(self) -> usize {
+        match self {
+            Effort::Smoke => 1,
+            Effort::Quick => 4,
+            Effort::Full => 6,
+        }
+    }
+
+    /// `(train, test)` dataset sizes for the `table3_hw` activity-factor
+    /// traces.
+    pub fn activity_dataset_sizes(self) -> (usize, usize) {
+        match self {
+            Effort::Smoke => (8, 4),
+            Effort::Quick => (16, 8),
+            Effort::Full => (64, 32),
+        }
+    }
+
+    /// `(images, windows per image)` sampled by the stochastic activity
+    /// measurement in `table3_hw`.
+    pub fn sc_activity_samples(self) -> (usize, usize) {
+        match self {
+            Effort::Smoke => (4, 12),
+            Effort::Quick => (8, 24),
+            Effort::Full => (16, 48),
+        }
+    }
+
+    /// Images sampled by the binary activity measurement in `table3_hw`.
+    pub fn binary_activity_images(self) -> usize {
+        match self {
+            Effort::Smoke => 8,
+            Effort::Quick => 16,
+            Effort::Full => 32,
+        }
+    }
+
+    /// Scales a Monte-Carlo trial count for the stream-level ablations:
+    /// `quick` keeps the harness's recorded baseline, `smoke` divides by 8
+    /// (CI gate speed), `full` doubles.
+    pub fn trials(self, quick: u64) -> u64 {
+        match self {
+            Effort::Smoke => (quick / 8).max(8),
+            Effort::Quick => quick,
+            Effort::Full => quick * 2,
+        }
+    }
 }
 
 /// Everything a Table 3 style experiment needs.
@@ -92,6 +163,34 @@ pub struct Workbench {
     pub base: BaseModel,
     /// The effort level used.
     pub effort: Effort,
+}
+
+impl Workbench {
+    /// Compiles a [`ScenarioSpec`] into a first-layer engine over the
+    /// trained base convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on construction errors — harnesses are top-level binaries.
+    pub fn first_layer(&self, spec: &ScenarioSpec) -> Box<dyn FirstLayer> {
+        spec.first_layer(self.base.conv1()).expect("scenario engine construction failed")
+    }
+
+    /// Runs the §V-B retraining pipeline for one scenario: compile the
+    /// engine, freeze it, retrain the base tail on its features, and
+    /// report before/after accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on engine or training errors.
+    pub fn retrain_scenario(
+        &self,
+        spec: &ScenarioSpec,
+        config: &RetrainConfig,
+    ) -> (HybridLenet, RetrainReport) {
+        retrain(self.first_layer(spec), self.base.tail_clone(), &self.train, &self.test, config)
+            .expect("scenario retraining failed")
+    }
 }
 
 /// Loads data (real MNIST from `data/mnist` if present, synthetic digits
@@ -147,6 +246,28 @@ mod tests {
         assert!(Effort::Quick.train_size() < Effort::Full.train_size());
         assert!(Effort::Quick.test_size() < Effort::Full.test_size());
         assert!(Effort::Quick.base_epochs() <= Effort::Full.base_epochs());
+        assert!(Effort::Smoke.mlp_train_size() < Effort::Quick.mlp_train_size());
+        assert!(Effort::Quick.mlp_train_size() < Effort::Full.mlp_train_size());
+        assert!(Effort::Smoke.mlp_test_size() < Effort::Full.mlp_test_size());
+        assert!(Effort::Smoke.activity_dataset_sizes().0 < Effort::Full.activity_dataset_sizes().0);
+        assert!(Effort::Smoke.sc_activity_samples().0 < Effort::Full.sc_activity_samples().0);
+        assert!(Effort::Smoke.binary_activity_images() < Effort::Full.binary_activity_images());
+    }
+
+    #[test]
+    fn quick_effort_keeps_recorded_baselines() {
+        // The recorded EXPERIMENTS/README tables were produced at Quick;
+        // these values are load-bearing for "unchanged output at quick".
+        assert_eq!(Effort::Quick.mlp_train_size(), 1000);
+        assert_eq!(Effort::Quick.mlp_test_size(), 300);
+        assert_eq!(Effort::Quick.mlp_epochs(), 4);
+        assert_eq!(Effort::Quick.activity_dataset_sizes(), (16, 8));
+        assert_eq!(Effort::Quick.sc_activity_samples(), (8, 24));
+        assert_eq!(Effort::Quick.binary_activity_images(), 16);
+        assert_eq!(Effort::Quick.trials(400), 400);
+        assert_eq!(Effort::Smoke.trials(400), 50);
+        assert_eq!(Effort::Smoke.trials(16), 8);
+        assert_eq!(Effort::Full.trials(200), 400);
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! The shared count-domain engine core.
+//!
+//! Every TFF-adder datapath in this workspace consumes bit streams only
+//! through `count(a ∧ b)` — the closed form of the TFF adder
+//! ([`scnn_sim::TffAdder::add_count`]) makes the whole tree a pure function
+//! of its leaf 1-counts. That one observation powers three engines:
+//!
+//! * [`LevelCountTable`] — the level-indexed AND-count LUT. A comparator
+//!   SNG's output is a deterministic function of its input level, so
+//!   against a fixed source sequence a stream takes at most `2^b + 1`
+//!   distinct patterns; pre-counting `count(stream(level) ∧ weight)` for
+//!   every (level, weight) pair turns a whole multiply-and-count datapath
+//!   into a table gather. Used by the convolution engine (PR 2) and the
+//!   dense engine's unipolar mode (this module's port — the same counting
+//!   identity Hirtzlin et al. apply to fully-connected SC layers).
+//! * [`LaneTree`] — folds one TFF adder tree for many output lanes at once
+//!   in `u16` lanes (all kernels of a conv window, all neurons of a dense
+//!   layer), bit-exact with [`scnn_sim::TffAdderTree::fold_counts`] per
+//!   lane.
+//! * [`LevelStreamCache`] / [`ProductCache`] — stream-level dedup for the
+//!   paths that still need real bits (MUX adders, fault injection): one
+//!   comparator conversion per *distinct* level, and one AND product per
+//!   distinct (level, weight) pair.
+//!
+//! # Example: count a dot product through the table
+//!
+//! ```
+//! use scnn_core::counts::{LaneTree, LevelCountTable};
+//! use scnn_core::{SourceKind, StreamArena};
+//! use scnn_sim::S0Policy;
+//!
+//! # fn main() -> Result<(), scnn_core::Error> {
+//! let n = 16; // 4-bit streams
+//! let seq = SourceKind::Ramp.sequence(4, n, 1)?;
+//! // Two lanes × three taps of weight streams, lane-major.
+//! let mut weights = StreamArena::new(2 * 3, n)?;
+//! for i in 0..6 {
+//!     weights.write_from_levels(i, &seq, (i as u64 * 3) % 17);
+//! }
+//! let neg = vec![false, true, false, true, false, true];
+//! let table = LevelCountTable::build(&seq, &weights, &neg, 3, 2)?;
+//! let mut pos = LaneTree::new(3, 2, S0Policy::Alternating);
+//! let mut neg_tree = LaneTree::new(3, 2, S0Policy::Alternating);
+//! for tap in 0..3 {
+//!     table.gather(9, tap, pos.tap_lanes_mut(tap), neg_tree.tap_lanes_mut(tap));
+//! }
+//! let roots = pos.fold();
+//! assert_eq!(roots.len(), 2); // one scaled sum per lane
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::arena::{and_count, StreamArena};
+use crate::Error;
+use scnn_sim::S0Policy;
+
+/// Upper bound on AND-count table entries (`(2^b + 1) · taps · lanes`);
+/// configurations above it fall back to the streaming engines.
+pub const MAX_LUT_ENTRIES: usize = 1 << 24;
+
+/// Upper bound on [`ProductCache`] storage in packed `u64` words
+/// (`levels · weights · words-per-stream`, ≈ 32 MiB); above it the MUX
+/// streaming path recomputes products per window. A word (not slot)
+/// budget keeps the eager prefill bounded as the stream length grows:
+/// at 8-bit a full conv cache is ~0.8 M words, at 10-bit ~13 M.
+pub const MAX_PRODUCT_WORDS: usize = 1 << 22;
+
+/// A level-indexed AND-count table with positive/negative lane masks.
+///
+/// Layout: `count(stream(level) ∧ weight(lane, tap))` is stored tap-major at
+/// `[level][tap · lanes + lane]`, so one tap's gather reads a contiguous
+/// lane row shared by every lane. Weight streams and signs are supplied
+/// **lane-major** (`lane · taps + tap`), the natural layout of both the
+/// convolution engine (`kernel · ksize² + tap`) and the dense engine
+/// (`neuron · in_features + input`).
+#[derive(Debug, Clone)]
+pub struct LevelCountTable {
+    taps: usize,
+    lanes: usize,
+    /// `(n + 1) × taps·lanes` counts, `[level][tap·lanes + lane]`.
+    lut: Vec<u16>,
+    /// Per-`(tap, lane)` mask: `0xFFFF` where the weight feeds the positive
+    /// tree, `0` where it feeds the negative.
+    pos_mask: Vec<u16>,
+}
+
+impl LevelCountTable {
+    /// Whether a table for `n`-bit streams over `taps × lanes` weights fits
+    /// the memory budget *and* the `u16` lane arithmetic (the fold's
+    /// transient `2n + 1` must fit).
+    pub fn fits(n: usize, taps: usize, lanes: usize) -> bool {
+        2 * n < usize::from(u16::MAX)
+            && (n + 1).saturating_mul(taps.saturating_mul(lanes)) <= MAX_LUT_ENTRIES
+    }
+
+    /// Builds the table by enumerating every comparator level of `seq`
+    /// against every weight stream.
+    ///
+    /// `weight_streams` and `weight_neg` hold `lanes · taps` entries,
+    /// lane-major; `seq` is the source sequence shared by all level
+    /// streams (its length is the stream bit length).
+    ///
+    /// # Errors
+    ///
+    /// Propagates arena construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream/sign counts do not match `taps · lanes` or the
+    /// configuration fails [`fits`](Self::fits).
+    pub fn build(
+        seq: &[u64],
+        weight_streams: &StreamArena,
+        weight_neg: &[bool],
+        taps: usize,
+        lanes: usize,
+    ) -> Result<Self, Error> {
+        let n = seq.len();
+        let row_len = taps * lanes;
+        assert_eq!(weight_streams.len(), row_len, "weight stream count mismatch");
+        assert_eq!(weight_neg.len(), row_len, "weight sign count mismatch");
+        assert!(Self::fits(n, taps, lanes), "table exceeds the count-domain budget");
+        let levels = n + 1;
+        let mut lut = vec![0u16; levels * row_len];
+        let mut level_stream = StreamArena::new(1, n)?;
+        for level in 0..levels {
+            level_stream.write_from_levels(0, seq, level as u64);
+            let row = &mut lut[level * row_len..(level + 1) * row_len];
+            for t in 0..taps {
+                for lane in 0..lanes {
+                    row[t * lanes + lane] =
+                        and_count(level_stream.stream(0), weight_streams.stream(lane * taps + t))
+                            as u16;
+                }
+            }
+        }
+        let mut pos_mask = vec![0u16; row_len];
+        for t in 0..taps {
+            for lane in 0..lanes {
+                if !weight_neg[lane * taps + t] {
+                    pos_mask[t * lanes + lane] = u16::MAX;
+                }
+            }
+        }
+        Ok(Self { taps, lanes, lut, pos_mask })
+    }
+
+    /// Lanes per row.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Taps per lane.
+    pub fn taps(&self) -> usize {
+        self.taps
+    }
+
+    /// Splits one (level, tap) lane row into the positive and negative tree
+    /// inputs: lanes whose weight is positive receive the count in `pos`
+    /// (and `0` in `neg`), negative lanes the other way around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level`/`tap` are out of range or the slices are shorter
+    /// than [`lanes`](Self::lanes).
+    #[inline]
+    pub fn gather(&self, level: usize, tap: usize, pos: &mut [u16], neg: &mut [u16]) {
+        let row = &self.lut[(level * self.taps + tap) * self.lanes..][..self.lanes];
+        let mask = &self.pos_mask[tap * self.lanes..(tap + 1) * self.lanes];
+        for (((pd, nd), &c), &m) in pos.iter_mut().zip(neg.iter_mut()).zip(row).zip(mask) {
+            let to_pos = c & m;
+            *pd = to_pos;
+            *nd = c - to_pos;
+        }
+    }
+}
+
+/// A multi-lane TFF adder tree folded in `u16` lanes.
+///
+/// Holds `padded × lanes` tap counts (tap-major) plus the fold scratch.
+/// Per node the lane op is `(x + y + S0) >> 1` — exactly
+/// [`scnn_sim::TffAdder::add_count`] for both rounding directions — and
+/// nodes are numbered breadth-first as in [`scnn_sim::TffAdderTree`], so
+/// each lane's root equals `TffAdderTree::fold_counts` on that lane's taps
+/// (property-tested in `scnn-core`).
+///
+/// Reuse contract: [`fold`](Self::fold) dirties entry slots below
+/// `padded / 4`, which is always less than `taps`; a caller that rewrites
+/// **every** tap's lanes (via [`tap_lanes_mut`](Self::tap_lanes_mut))
+/// before each fold keeps the zero padding in slots `taps..padded` intact
+/// and may reuse one tree across windows.
+///
+/// Count ceiling: the per-node transient `x + y + S0` lives in `u16`, so
+/// every leaf count must satisfy `2·count + 1 ≤ u16::MAX` (counts up to
+/// `32767`, i.e. streams of 14-bit precision and under — the bound
+/// [`LevelCountTable::fits`] enforces). Larger counts wrap silently in
+/// release builds; [`fold`](Self::fold) debug-asserts the ceiling.
+#[derive(Debug, Clone)]
+pub struct LaneTree {
+    lanes: usize,
+    padded: usize,
+    policy: S0Policy,
+    /// `padded × lanes` tap counts; slots `taps·lanes..` are zero padding.
+    entry: Vec<u16>,
+    /// `(padded / 2).max(1) × lanes` fold scratch.
+    scratch: Vec<u16>,
+    root: Vec<u16>,
+}
+
+impl LaneTree {
+    /// A tree over `taps` leaves (padded to the next power of two) carrying
+    /// `lanes` independent sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` or `lanes` is zero.
+    pub fn new(taps: usize, lanes: usize, policy: S0Policy) -> Self {
+        assert!(taps > 0 && lanes > 0, "LaneTree needs at least one tap and lane");
+        let padded = taps.next_power_of_two();
+        Self {
+            lanes,
+            padded,
+            policy,
+            entry: vec![0; padded * lanes],
+            scratch: vec![0; (padded / 2).max(1) * lanes],
+            root: vec![0; lanes],
+        }
+    }
+
+    /// The padded tree width (the scale factor of the scaled sum).
+    pub fn scale(&self) -> usize {
+        self.padded
+    }
+
+    /// Mutable lane row of tap `tap` — fill these with the leaf counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range.
+    #[inline]
+    pub fn tap_lanes_mut(&mut self, tap: usize) -> &mut [u16] {
+        &mut self.entry[tap * self.lanes..(tap + 1) * self.lanes]
+    }
+
+    /// Folds the tree bottom-up and returns the root count per lane.
+    ///
+    /// Debug-asserts the leaf-count ceiling (see the type docs); out-of-
+    /// range counts wrap silently in release builds.
+    pub fn fold(&mut self) -> &[u16] {
+        debug_assert!(
+            self.entry.iter().all(|&c| 2 * u32::from(c) < u32::from(u16::MAX)),
+            "LaneTree leaf counts must satisfy 2·count + 1 ≤ u16::MAX"
+        );
+        fold_lanes(
+            self.policy,
+            self.padded,
+            self.lanes,
+            &mut self.entry,
+            &mut self.scratch,
+            &mut self.root,
+        );
+        &self.root
+    }
+}
+
+/// The lane fold behind [`LaneTree::fold`], ping-ponging between `entry`
+/// (`padded × lanes` on entry) and `scratch` (`(padded/2).max(1) × lanes`),
+/// writing the root lanes to `root`.
+fn fold_lanes(
+    policy: S0Policy,
+    padded: usize,
+    lanes: usize,
+    entry: &mut [u16],
+    scratch: &mut [u16],
+    root: &mut [u16],
+) {
+    let mut width = padded;
+    let mut node = 0usize;
+    let mut cur: &mut [u16] = entry;
+    let mut nxt: &mut [u16] = scratch;
+    while width > 1 {
+        for i in 0..width / 2 {
+            let s0 = u16::from(policy.state_for(node));
+            node += 1;
+            let (left, right) = cur[2 * i * lanes..(2 * i + 2) * lanes].split_at(lanes);
+            let dst = &mut nxt[i * lanes..(i + 1) * lanes];
+            for ((d, &x), &y) in dst.iter_mut().zip(left).zip(right) {
+                *d = (x + y + s0) >> 1;
+            }
+        }
+        std::mem::swap(&mut cur, &mut nxt);
+        width /= 2;
+    }
+    root.copy_from_slice(&cur[..lanes]);
+}
+
+/// The scalar closed-form TFF tree fold used by the streaming engines:
+/// folds a `counts` buffer of padded (power-of-two) width in place and
+/// returns the root count. Node numbering matches
+/// [`scnn_sim::TffAdderTree`] exactly.
+///
+/// # Panics
+///
+/// Debug-panics if `counts.len()` is not a power of two.
+pub fn fold_tree_counts(policy: S0Policy, counts: &mut [u64]) -> u64 {
+    debug_assert!(counts.len().is_power_of_two(), "fold needs the padded tree width");
+    let mut width = counts.len();
+    let mut node = 0usize;
+    while width > 1 {
+        for i in 0..width / 2 {
+            let sum = counts[2 * i] + counts[2 * i + 1];
+            counts[i] = if policy.state_for(node) { sum.div_ceil(2) } else { sum / 2 };
+            node += 1;
+        }
+        width /= 2;
+    }
+    counts[0]
+}
+
+/// One comparator-SNG conversion per *distinct* level.
+///
+/// Against a fixed source sequence the comparator stream is a pure function
+/// of the level, so equal-level inputs share bit patterns; the cache
+/// converts on first sight and hands out word slices afterwards. This is
+/// the stream-arena dedup the conv engine's `pixel_streams` has used since
+/// PR 2, now shared with the dense engine's input bank.
+#[derive(Debug)]
+pub struct LevelStreamCache<'a> {
+    seq: &'a [u64],
+    scratch: StreamArena,
+    cache: Vec<Option<Vec<u64>>>,
+}
+
+impl<'a> LevelStreamCache<'a> {
+    /// A cache over the source sequence `seq` (one value per stream bit),
+    /// covering comparator levels `0..=seq.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an empty sequence.
+    pub fn new(seq: &'a [u64]) -> Result<Self, Error> {
+        Ok(Self { seq, scratch: StreamArena::new(1, seq.len())?, cache: vec![None; seq.len() + 1] })
+    }
+
+    /// The packed words of the level-`level` comparator stream, converting
+    /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > seq.len()`.
+    pub fn words(&mut self, level: usize) -> &[u64] {
+        if self.cache[level].is_none() {
+            self.scratch.write_from_levels(0, self.seq, level as u64);
+            self.cache[level] = Some(self.scratch.stream(0).to_vec());
+        }
+        self.cache[level].as_deref().expect("just filled")
+    }
+}
+
+/// Per-(level, weight) AND-product cache for the MUX streaming path.
+///
+/// The MUX adder tree genuinely needs bits (its output depends on which
+/// bits the selects sample), so the count table does not apply — but the
+/// AND products feeding the tree are still pure functions of
+/// (pixel level, weight stream). Repeated windows reuse the product and
+/// only the select sampling reruns (the ROADMAP perf idea from PR 2).
+///
+/// Fill lazily through [`product`](Self::product), or eagerly at engine
+/// construction (every level × weight once) and read through
+/// [`get`](Self::get) — the conv engine prefills so one cache serves
+/// every image of a dataset instead of being rebuilt per call.
+#[derive(Debug, Clone)]
+pub struct ProductCache {
+    weights: usize,
+    words: usize,
+    /// Flat `levels × weights × words` product storage — one allocation,
+    /// slot `level · weights + weight` at `[slot · words..]`, so adjacent
+    /// weights of one level read contiguously in the MUX hot loop.
+    data: Vec<u64>,
+    /// Per-slot fill flag for the lazy [`product`](Self::product) API.
+    filled: Vec<bool>,
+}
+
+impl ProductCache {
+    /// Whether a cache of `levels × weights` products over
+    /// `words_per_stream`-word streams fits the memory budget.
+    pub fn fits(levels: usize, weights: usize, words_per_stream: usize) -> bool {
+        levels.saturating_mul(weights).saturating_mul(words_per_stream) <= MAX_PRODUCT_WORDS
+    }
+
+    /// An empty cache for `levels` comparator levels over `weights` weight
+    /// streams of `words_per_stream` packed words each.
+    pub fn new(levels: usize, weights: usize, words_per_stream: usize) -> Self {
+        Self {
+            weights,
+            words: words_per_stream,
+            data: vec![0; levels * weights * words_per_stream],
+            filled: vec![false; levels * weights],
+        }
+    }
+
+    /// The packed AND product of a level-`level` pixel stream (`pixel`
+    /// words) and weight stream `weight_index` (`weight` words), computed
+    /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range or the word slices disagree
+    /// with the cache's words-per-stream.
+    pub fn product(
+        &mut self,
+        level: usize,
+        weight_index: usize,
+        pixel: &[u64],
+        weight: &[u64],
+    ) -> &[u64] {
+        debug_assert_eq!(pixel.len(), weight.len());
+        assert_eq!(pixel.len(), self.words, "stream word count mismatch");
+        let slot = level * self.weights + weight_index;
+        let dst = &mut self.data[slot * self.words..(slot + 1) * self.words];
+        if !self.filled[slot] {
+            for ((d, &a), &b) in dst.iter_mut().zip(pixel).zip(weight) {
+                *d = a & b;
+            }
+            self.filled[slot] = true;
+        }
+        dst
+    }
+
+    /// The cached product for (`level`, `weight_index`), or `None` when
+    /// that slot has not been filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, level: usize, weight_index: usize) -> Option<&[u64]> {
+        let slot = level * self.weights + weight_index;
+        self.filled[slot].then(|| &self.data[slot * self.words..(slot + 1) * self.words])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceKind;
+    use scnn_sim::TffAdderTree;
+
+    fn seq(bits: u32, n: usize) -> Vec<u64> {
+        SourceKind::VanDerCorput.sequence(bits, n, 3).unwrap()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn lane_tree_matches_reference_tree_per_lane() {
+        for taps in [1usize, 3, 7, 25, 30] {
+            for policy in [S0Policy::AllZero, S0Policy::AllOne, S0Policy::Alternating] {
+                let lanes = 5;
+                let mut tree = LaneTree::new(taps, lanes, policy);
+                let reference = TffAdderTree::new(taps, policy).unwrap();
+                let mut per_lane = vec![vec![0u64; taps]; lanes];
+                for t in 0..taps {
+                    let row = tree.tap_lanes_mut(t);
+                    for (lane, row_v) in row.iter_mut().enumerate() {
+                        let c = ((t * 31 + lane * 17 + 5) % 64) as u64;
+                        *row_v = c as u16;
+                        per_lane[lane][t] = c;
+                    }
+                }
+                let roots = tree.fold().to_vec();
+                for (lane, counts) in per_lane.iter().enumerate() {
+                    assert_eq!(
+                        u64::from(roots[lane]),
+                        reference.fold_counts(counts),
+                        "taps={taps} lane={lane} policy={policy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_tree_is_reusable_without_residue() {
+        // Second fold over fresh taps must equal a fresh tree's fold.
+        let mut tree = LaneTree::new(25, 3, S0Policy::Alternating);
+        for t in 0..25 {
+            tree.tap_lanes_mut(t).fill(7);
+        }
+        let _ = tree.fold();
+        for t in 0..25 {
+            let row = tree.tap_lanes_mut(t);
+            for (lane, v) in row.iter_mut().enumerate() {
+                *v = (t + lane) as u16 % 9;
+            }
+        }
+        let second = tree.fold().to_vec();
+        let mut fresh = LaneTree::new(25, 3, S0Policy::Alternating);
+        for t in 0..25 {
+            let row = fresh.tap_lanes_mut(t);
+            for (lane, v) in row.iter_mut().enumerate() {
+                *v = (t + lane) as u16 % 9;
+            }
+        }
+        assert_eq!(second, fresh.fold());
+    }
+
+    #[test]
+    fn scalar_fold_matches_reference_tree() {
+        let reference = TffAdderTree::new(25, S0Policy::Alternating).unwrap();
+        let counts: Vec<u64> = (0..25).map(|i| (i * 13 + 7) % 65).collect();
+        let mut padded = counts.clone();
+        padded.resize(32, 0);
+        assert_eq!(
+            fold_tree_counts(S0Policy::Alternating, &mut padded),
+            reference.fold_counts(&counts)
+        );
+    }
+
+    #[test]
+    fn level_table_counts_match_direct_and_count() {
+        let n = 32;
+        let s = seq(5, n);
+        let taps = 4;
+        let lanes = 3;
+        let mut weights = StreamArena::new(taps * lanes, n).unwrap();
+        let mut neg = vec![false; taps * lanes];
+        for lane in 0..lanes {
+            for t in 0..taps {
+                let idx = lane * taps + t;
+                weights.write_from_levels(idx, &s, ((idx * 7 + 3) % 33) as u64);
+                neg[idx] = idx % 3 == 1;
+            }
+        }
+        let table = LevelCountTable::build(&s, &weights, &neg, taps, lanes).unwrap();
+        let mut level_stream = StreamArena::new(1, n).unwrap();
+        let mut pos = vec![0u16; lanes];
+        let mut neg_out = vec![0u16; lanes];
+        for level in [0usize, 1, 16, 32] {
+            level_stream.write_from_levels(0, &s, level as u64);
+            for t in 0..taps {
+                table.gather(level, t, &mut pos, &mut neg_out);
+                for lane in 0..lanes {
+                    let idx = lane * taps + t;
+                    let expect = and_count(level_stream.stream(0), weights.stream(idx)) as u16;
+                    let (got_pos, got_neg) = if neg[idx] { (0, expect) } else { (expect, 0) };
+                    assert_eq!(pos[lane], got_pos, "level={level} t={t} lane={lane}");
+                    assert_eq!(neg_out[lane], got_neg, "level={level} t={t} lane={lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fits_rejects_oversized_configurations() {
+        assert!(LevelCountTable::fits(256, 25, 32));
+        assert!(!LevelCountTable::fits(40_000, 25, 32)); // u16 lanes overflow
+        assert!(!LevelCountTable::fits(256, 1 << 12, 1 << 12)); // table too big
+        assert!(ProductCache::fits(257, 800, 4)); // 8-bit conv: ~0.8 M words
+        assert!(!ProductCache::fits(1025, 800, 16)); // 10-bit conv: ~13 M words
+        assert!(!ProductCache::fits(1 << 16, 1 << 16, 1));
+    }
+
+    #[test]
+    fn level_stream_cache_matches_direct_conversion() {
+        let n = 48;
+        let s = seq(6, n);
+        let mut cache = LevelStreamCache::new(&s).unwrap();
+        let mut direct = StreamArena::new(1, n).unwrap();
+        for level in [0usize, 5, 5, 48, 17, 5] {
+            direct.write_from_levels(0, &s, level as u64);
+            assert_eq!(cache.words(level), direct.stream(0), "level={level}");
+        }
+    }
+
+    #[test]
+    fn product_cache_returns_the_and_product() {
+        let mut cache = ProductCache::new(4, 2, 2);
+        let pixel = [0b1100u64, 0b1010];
+        let weight = [0b1010u64, 0b0110];
+        let expect = [0b1000u64, 0b0010];
+        assert_eq!(cache.product(2, 1, &pixel, &weight), &expect);
+        // Cached: returns the same product even for different inputs (the
+        // caller guarantees the key identifies the content).
+        assert_eq!(cache.product(2, 1, &[0, 0], &[0, 0]), &expect);
+        assert_eq!(cache.product(0, 0, &[0, 0], &[0, 0]), &[0u64, 0]);
+    }
+}

@@ -1,9 +1,15 @@
 use crate::arena::{and_count, StreamArena};
+use crate::counts::{LaneTree, LevelCountTable, LevelStreamCache};
 use crate::Error;
 use scnn_bitstream::Precision;
 use scnn_nn::layers::Dense;
 use scnn_nn::quant::{pixel_level, scale_kernels, weight_level};
 use scnn_sim::{S0Policy, TffAdderTree};
+
+/// The S0 policy of the dense engine's adder trees — one source of truth
+/// for the streaming [`TffAdderTree`] and the count-domain
+/// [`LaneTree`] fold, which must agree bit for bit.
+pub(crate) const DENSE_S0_POLICY: S0Policy = S0Policy::Alternating;
 
 /// What kind of values feed a [`StochasticDenseLayer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +35,16 @@ pub enum DenseInput {
 /// counter difference re-normalized to scaled dot-product units (apply a
 /// sign activation externally for hidden layers; use argmax directly for
 /// a classifier head).
+///
+/// Like the convolution engine, the unipolar mode runs in the **count
+/// domain** by default: the same counting identity (Hirtzlin et al. apply
+/// it to fully-connected SC layers) lets a
+/// [`LevelCountTable`](crate::counts::LevelCountTable) precomputed at
+/// construction replace every per-call stream regeneration and AND-count,
+/// with all neurons folded in parallel
+/// [`LaneTree`](crate::counts::LaneTree) lanes.
+/// [`forward_streaming`](Self::forward_streaming) remains the bit-level
+/// reference — bit-exact with the fast path (property-tested).
 ///
 /// # Example
 ///
@@ -68,6 +84,9 @@ pub struct StochasticDenseLayer {
     /// Source values for the input SNG bank (unipolar mode).
     input_seq: Vec<u64>,
     tree: TffAdderTree,
+    /// Level-indexed AND-count table for the unipolar count-domain fast
+    /// path; `None` for ternary inputs or oversized configurations.
+    lut: Option<LevelCountTable>,
 }
 
 impl StochasticDenseLayer {
@@ -109,8 +128,24 @@ impl StochasticDenseLayer {
             weight_neg[idx] = neg;
         }
         let input_seq = crate::SourceKind::Ramp.sequence(bits, n, seed ^ 0x1234)?;
-        let tree = TffAdderTree::new(in_features, S0Policy::Alternating)
+        let tree = TffAdderTree::new(in_features, DENSE_S0_POLICY)
             .map_err(|e| Error::config(e.to_string()))?;
+        // The unipolar count-domain fast path: weight streams are already
+        // lane-major (`neuron · in_features + input`), exactly the
+        // LevelCountTable convention.
+        let lut = if input_kind == DenseInput::Unipolar
+            && LevelCountTable::fits(n, in_features, out_features)
+        {
+            Some(LevelCountTable::build(
+                &input_seq,
+                &weight_streams,
+                &weight_neg,
+                in_features,
+                out_features,
+            )?)
+        } else {
+            None
+        };
         Ok(Self {
             in_features,
             out_features,
@@ -122,6 +157,7 @@ impl StochasticDenseLayer {
             offsets,
             input_seq,
             tree,
+            lut,
         })
     }
 
@@ -140,14 +176,34 @@ impl StochasticDenseLayer {
         self.precision
     }
 
+    /// Whether the level-indexed AND-count fast path is active (unipolar
+    /// inputs, table within budget).
+    pub fn uses_count_table(&self) -> bool {
+        self.lut.is_some()
+    }
+
     /// Computes all neuron outputs (scaled dot-product units, bias
     /// included) for one input vector.
+    ///
+    /// Unipolar inputs take the count-domain fast path when
+    /// [`uses_count_table`](Self::uses_count_table) — bit-exact with the
+    /// retained [`forward_streaming`](Self::forward_streaming) reference.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] on a wrong input length or values outside
     /// the declared [`DenseInput`] domain.
     pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, Error> {
+        if self.lut.is_some() {
+            self.forward_lut(input)
+        } else {
+            self.forward_streaming(input)
+        }
+    }
+
+    /// Validates one input vector against the declared [`DenseInput`]
+    /// domain.
+    fn check_input(&self, input: &[f32]) -> Result<(), Error> {
         if input.len() != self.in_features {
             return Err(Error::config(format!(
                 "expected {} inputs, got {}",
@@ -155,26 +211,74 @@ impl StochasticDenseLayer {
                 input.len()
             )));
         }
-        let n = self.precision.stream_len();
-        let bits = self.precision.bits();
-        // Input magnitude streams (unipolar mode only).
-        let input_streams = match self.input_kind {
+        match self.input_kind {
             DenseInput::Unipolar => {
                 if input.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
                     return Err(Error::config("unipolar inputs must lie in [0, 1]"));
                 }
-                let mut arena = StreamArena::new(self.in_features, n)?;
-                for (i, &v) in input.iter().enumerate() {
-                    arena.write_from_levels(i, &self.input_seq, pixel_level(v, bits));
-                }
-                Some(arena)
             }
             DenseInput::Ternary => {
                 if input.iter().any(|&v| v != -1.0 && v != 0.0 && v != 1.0) {
                     return Err(Error::config("ternary inputs must be −1, 0 or +1"));
                 }
-                None
             }
+        }
+        Ok(())
+    }
+
+    /// The count-domain fast path: quantize each input once, gather its
+    /// AND counts for all neurons from the level-indexed table, and fold
+    /// both trees in neuron lanes.
+    fn forward_lut(&self, input: &[f32]) -> Result<Vec<f32>, Error> {
+        self.check_input(input)?;
+        let lut = self.lut.as_ref().expect("caller checked uses_count_table");
+        let bits = self.precision.bits();
+        let n = self.precision.stream_len() as f32;
+        let mut pos = LaneTree::new(self.in_features, self.out_features, DENSE_S0_POLICY);
+        let mut neg = LaneTree::new(self.in_features, self.out_features, DENSE_S0_POLICY);
+        for (i, &v) in input.iter().enumerate() {
+            let level = pixel_level(v, bits) as usize;
+            lut.gather(level, i, pos.tap_lanes_mut(i), neg.tap_lanes_mut(i));
+        }
+        let scale = self.tree.scale() as f32;
+        let pos_root = pos.fold();
+        let neg_root = neg.fold();
+        Ok(self
+            .offsets
+            .iter()
+            .enumerate()
+            .map(|(j, &offset)| {
+                let diff = f32::from(pos_root[j]) - f32::from(neg_root[j]);
+                diff * scale / n + offset
+            })
+            .collect())
+    }
+
+    /// The bit-level streaming engine — the hardware reference model,
+    /// kept public so benches and property tests can compare it against
+    /// the count-domain path on any configuration (they are bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on a wrong input length or values outside
+    /// the declared [`DenseInput`] domain.
+    pub fn forward_streaming(&self, input: &[f32]) -> Result<Vec<f32>, Error> {
+        self.check_input(input)?;
+        let n = self.precision.stream_len();
+        let bits = self.precision.bits();
+        // Input magnitude streams (unipolar mode only), deduplicated per
+        // distinct level like the conv engine's pixel bank.
+        let input_streams = match self.input_kind {
+            DenseInput::Unipolar => {
+                let mut arena = StreamArena::new(self.in_features, n)?;
+                let mut cache = LevelStreamCache::new(&self.input_seq)?;
+                for (i, &v) in input.iter().enumerate() {
+                    let words = cache.words(pixel_level(v, bits) as usize);
+                    arena.stream_mut(i).copy_from_slice(words);
+                }
+                Some(arena)
+            }
+            DenseInput::Ternary => None,
         };
         let scale = self.tree.scale() as f32;
         let mut out = vec![0.0f32; self.out_features];
@@ -308,6 +412,47 @@ mod tests {
         assert_eq!(layer.in_features(), 8);
         assert_eq!(layer.out_features(), 2);
         assert_eq!(layer.precision().bits(), 4);
+    }
+
+    #[test]
+    fn unipolar_lut_matches_streaming_reference() {
+        // The count-domain fast path must be bit-exact with the streaming
+        // engine across precisions and shapes.
+        for (in_f, out_f, bits, seed) in
+            [(16usize, 4usize, 4u32, 1u64), (32, 6, 8, 9), (25, 3, 6, 5), (1, 2, 4, 3)]
+        {
+            let dense = Dense::new(in_f, out_f, seed);
+            let layer = StochasticDenseLayer::from_dense(
+                &dense,
+                Precision::new(bits).unwrap(),
+                DenseInput::Unipolar,
+                seed ^ 0xC0,
+            )
+            .unwrap();
+            assert!(layer.uses_count_table(), "in={in_f} out={out_f} bits={bits}");
+            let input: Vec<f32> =
+                (0..in_f).map(|i| ((i as u64 * 29 + seed) % 101) as f32 / 100.0).collect();
+            let fast = layer.forward(&input).unwrap();
+            let reference = layer.forward_streaming(&input).unwrap();
+            assert_eq!(
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "in={in_f} out={out_f} bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn ternary_mode_skips_the_table() {
+        let dense = Dense::new(8, 2, 0);
+        let layer = StochasticDenseLayer::from_dense(
+            &dense,
+            Precision::new(6).unwrap(),
+            DenseInput::Ternary,
+            1,
+        )
+        .unwrap();
+        assert!(!layer.uses_count_table());
     }
 
     #[test]

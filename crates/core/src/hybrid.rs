@@ -1,8 +1,9 @@
 use crate::baseline::FirstLayer;
 use crate::Error;
-use scnn_nn::data::Dataset;
+use scnn_nn::data::{BatchSource, Dataset};
 use scnn_nn::layers::{Layer, MaxPool2d};
 use scnn_nn::{Evaluation, Network, Tensor};
+use std::ops::Range;
 
 /// The hybrid stochastic-binary LeNet-5 (paper Fig. 3): a [`FirstLayer`]
 /// engine (stochastic, quantized binary, or float), the fixed 2×2 max-pool,
@@ -67,33 +68,56 @@ impl HybridLenet {
         self.head = head;
     }
 
-    /// Runs the engine + pooling over every image, producing the
-    /// `[32, 14, 14]` feature dataset the binary tail consumes.
+    /// Runs the engine + pooling over every image of any [`BatchSource`],
+    /// producing the `[32, 14, 14]` feature dataset the binary tail
+    /// consumes.
     ///
     /// This is the expensive, cacheable step of the retraining pipeline
     /// (§V-B): the frozen first layer's outputs are computed once per
-    /// dataset and reused for every retraining epoch. Images are
-    /// distributed over the [`parallel`](crate::parallel) worker threads
-    /// (the engine is immutable and shared); item order is preserved, so
-    /// the features are identical for every `SCNN_THREADS` setting.
+    /// dataset and reused for every retraining epoch — when features are
+    /// needed only once (plain evaluation), use [`features`](Self::features)
+    /// instead, which never materializes them. Images are distributed over
+    /// the [`parallel`](crate::parallel) worker threads (the engine is
+    /// immutable and shared); item order is preserved, so the features are
+    /// identical for every `SCNN_THREADS` setting.
     ///
     /// # Errors
     ///
-    /// Propagates engine and shape errors.
-    pub fn extract_features(&self, dataset: &Dataset) -> Result<Dataset, Error> {
-        let kernels = self.head.kernels();
-        let head = self.head.as_ref();
-        let items: Vec<Result<Vec<f32>, Error>> =
-            crate::parallel::par_map_range(dataset.len(), |i| {
-                let raw = head.forward_image(dataset.item(i))?;
-                let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
-                let mut pool = MaxPool2d::new();
-                let pooled = pool.forward(&t, false)?;
-                Ok(pooled.into_vec())
+    /// Propagates engine, source and shape errors.
+    pub fn extract_features<S: BatchSource + ?Sized>(&self, source: &S) -> Result<Dataset, Error> {
+        // Upper bound on images fetched per batch_range call — the
+        // streaming memory cap (and the chunk size a streaming loader
+        // amortizes its work over). Small datasets shrink the chunk so
+        // every worker thread stays busy; per-item features don't depend
+        // on chunk boundaries, so the output is identical either way.
+        const MAX_CHUNK: usize = 64;
+        let chunk = source.len().div_ceil(crate::parallel::thread_count()).clamp(1, MAX_CHUNK);
+        let features = self.features(source);
+        let chunks: Vec<FeatureChunk> =
+            crate::parallel::par_map_range(source.len().div_ceil(chunk), |c| {
+                let start = c * chunk;
+                let end = (start + chunk).min(source.len());
+                let (x, labels) = features.batch_range(start..end)?;
+                Ok((x.into_vec(), labels))
             });
-        let items = items.into_iter().collect::<Result<Vec<_>, Error>>()?;
-        let labels = dataset.labels().to_vec();
-        Ok(Dataset::from_items(items, &[kernels, 14, 14], labels)?)
+        let mut data = Vec::with_capacity(source.len() * features.item_len());
+        let mut labels = Vec::with_capacity(source.len());
+        for chunk in chunks {
+            let (d, l) = chunk?;
+            data.extend_from_slice(&d);
+            labels.extend_from_slice(&l);
+        }
+        let shape = features.item_shape().to_vec();
+        Ok(Dataset::new(data, &shape, labels)?)
+    }
+
+    /// A streaming view of this network's first-layer features over
+    /// `source`: a [`BatchSource`] that computes engine + pooling per
+    /// requested chunk, so a full evaluation never materializes the
+    /// feature tensor. Byte-identical with
+    /// [`extract_features`](Self::extract_features) (property-tested).
+    pub fn features<'a, S: BatchSource + ?Sized>(&'a self, source: &'a S) -> FeatureSource<'a, S> {
+        FeatureSource::new(self.head.as_ref(), source)
     }
 
     /// Classifies one image end to end.
@@ -111,15 +135,102 @@ impl HybridLenet {
         Ok(preds[0])
     }
 
-    /// End-to-end accuracy over a dataset (extracts features, then runs
-    /// the tail).
+    /// End-to-end accuracy over any [`BatchSource`], streaming the
+    /// first-layer features batch by batch through
+    /// [`features`](Self::features) — peak memory is one batch of
+    /// features per worker thread, never the full feature tensor.
     ///
     /// # Errors
     ///
-    /// Propagates engine and shape errors.
-    pub fn evaluate(&mut self, dataset: &Dataset, batch_size: usize) -> Result<Evaluation, Error> {
-        let features = self.extract_features(dataset)?;
+    /// Propagates engine, source and shape errors.
+    pub fn evaluate<S: BatchSource + ?Sized>(
+        &mut self,
+        source: &S,
+        batch_size: usize,
+    ) -> Result<Evaluation, Error> {
+        let features = FeatureSource::new(self.head.as_ref(), source);
         Ok(self.tail.evaluate(&features, batch_size)?)
+    }
+}
+
+/// One extracted feature chunk: flat feature data plus labels.
+type FeatureChunk = Result<(Vec<f32>, Vec<u8>), Error>;
+
+/// Engine + pooling for one image: the per-item kernel of
+/// [`FeatureSource`] (and through it every feature-extraction path).
+fn head_features(head: &dyn FirstLayer, kernels: usize, image: &[f32]) -> Result<Vec<f32>, Error> {
+    let raw = head.forward_image(image)?;
+    let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
+    let mut pool = MaxPool2d::new();
+    Ok(pool.forward(&t, false)?.into_vec())
+}
+
+/// A streaming [`BatchSource`] of a hybrid network's pooled first-layer
+/// features (see [`HybridLenet::features`]): each requested chunk loads
+/// the underlying images and runs engine + pooling on the spot.
+///
+/// # Example
+///
+/// ```no_run
+/// use scnn_core::{FloatConvLayer, HybridLenet};
+/// use scnn_nn::data::{synthetic, BatchSource};
+/// use scnn_nn::layers::Conv2d;
+/// use scnn_nn::lenet::{lenet5_head, lenet5_tail, LenetConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = LenetConfig::default();
+/// let head = lenet5_head(&cfg)?;
+/// let conv = head.layer(0).unwrap().as_any().downcast_ref::<Conv2d>().unwrap();
+/// let hybrid = HybridLenet::new(
+///     Box::new(FloatConvLayer::from_conv(conv, 0.0)?),
+///     lenet5_tail(&cfg)?,
+/// );
+/// let images = synthetic::generate(100, 1);
+/// let features = hybrid.features(&images);
+/// assert_eq!(features.len(), 100);
+/// let (batch, labels) = features.batch_range(0..8)?; // computed on demand
+/// assert_eq!(batch.shape(), &[8, 32, 14, 14]);
+/// assert_eq!(labels.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FeatureSource<'a, S: ?Sized> {
+    head: &'a dyn FirstLayer,
+    source: &'a S,
+    shape: Vec<usize>,
+}
+
+impl<'a, S: BatchSource + ?Sized> FeatureSource<'a, S> {
+    fn new(head: &'a dyn FirstLayer, source: &'a S) -> Self {
+        let shape = vec![head.kernels(), 14, 14];
+        Self { head, source, shape }
+    }
+}
+
+impl<S: BatchSource + ?Sized> BatchSource for FeatureSource<'_, S> {
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    fn item_shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn batch_range(&self, range: Range<usize>) -> Result<(Tensor, Vec<u8>), scnn_nn::Error> {
+        let (x, labels) = self.source.batch_range(range.clone())?;
+        let kernels = self.shape[0];
+        let in_len: usize = self.source.item_shape().iter().product();
+        let out_len: usize = self.shape.iter().product();
+        let mut data = Vec::with_capacity(range.len() * out_len);
+        for i in 0..range.len() {
+            let image = &x.data()[i * in_len..(i + 1) * in_len];
+            let pooled = head_features(self.head, kernels, image)
+                .map_err(|e| scnn_nn::Error::InvalidDataset { reason: e.to_string() })?;
+            data.extend_from_slice(&pooled);
+        }
+        let mut shape = vec![range.len()];
+        shape.extend_from_slice(&self.shape);
+        Ok((Tensor::from_vec(data, &shape)?, labels))
     }
 }
 

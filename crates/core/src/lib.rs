@@ -19,6 +19,18 @@
 //! feature maps over the training set, and retrain the binary remainder to
 //! absorb the precision loss.
 //!
+//! Three crosscutting facilities support the engines:
+//!
+//! * [`counts`] — the shared count-domain core (level-indexed AND-count
+//!   tables, multi-lane TFF tree folds, stream dedup caches) behind the
+//!   conv and dense fast paths,
+//! * [`ScenarioSpec`] — declarative experiment scenarios that compile to
+//!   ready engines (see the presets `this_work` / `old_sc` / `binary` /
+//!   `float` and the [`ScenarioBuilder`]),
+//! * [`HybridLenet::features`] — a streaming
+//!   [`BatchSource`](scnn_nn::data::BatchSource) of first-layer features,
+//!   so dataset-scale evaluation never materializes the feature tensor.
+//!
 //! # Example: run one image through the stochastic engine
 //!
 //! ```
@@ -43,17 +55,20 @@
 
 mod arena;
 mod baseline;
+pub mod counts;
 mod dense;
 mod error;
 mod hybrid;
 pub mod parallel;
 mod retrain;
+mod scenario;
 mod stochastic;
 
 pub use arena::{and_count, mux_words, StreamArena};
 pub use baseline::{BinaryConvLayer, FirstLayer, FloatConvLayer};
 pub use dense::{DenseInput, StochasticDenseLayer};
 pub use error::Error;
-pub use hybrid::HybridLenet;
+pub use hybrid::{FeatureSource, HybridLenet};
 pub use retrain::{retrain, train_base, BaseModel, RetrainConfig, RetrainReport, TrainConfig};
+pub use scenario::{HeadKind, ScenarioBuilder, ScenarioSpec};
 pub use stochastic::{AdderKind, ScOptions, SourceKind, StochasticConvLayer};

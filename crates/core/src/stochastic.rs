@@ -1,5 +1,6 @@
 use crate::arena::{and_count, mux_words, StreamArena};
 use crate::baseline::{ternary, window_taps, FirstLayer, KernelBank, IMAGE_SIDE};
+use crate::counts::{fold_tree_counts, LaneTree, LevelCountTable, LevelStreamCache, ProductCache};
 use crate::Error;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -145,18 +146,20 @@ impl Default for ScOptions {
 /// distinct bit patterns — one per comparator level `0..=2^b`; the table
 /// covers them all, though `b`-bit pixel quantization saturates at level
 /// `2^b − 1` and so reads only `2^b` rows. The TFF datapath consumes
-/// streams *only* through
-/// `count(pixel ∧ weight)`, so the whole per-tap multiply-and-count
-/// collapses to a table precomputed at construction:
-/// `and_lut[level][t·K + k] = count(stream(level) ∧ weight_stream(k, t))`
-/// (tap-major, `K` = kernels, so one window tap reads a contiguous lane
-/// row shared by every kernel). [`forward_image`](FirstLayer::forward_image)
-/// then quantizes each pixel once and folds counts for all `K` kernels in
-/// parallel lanes — zero bitstream traffic, bit-exact with
+/// streams *only* through `count(pixel ∧ weight)`, so the whole per-tap
+/// multiply-and-count collapses to a
+/// [`LevelCountTable`](crate::counts::LevelCountTable) precomputed at
+/// construction. [`forward_image`](FirstLayer::forward_image) then
+/// quantizes each pixel once and folds counts for all `K` kernels in
+/// parallel [`LaneTree`](crate::counts::LaneTree) lanes — zero bitstream
+/// traffic, bit-exact with
 /// [`forward_image_streaming`](Self::forward_image_streaming) (property
 /// tested). The streaming simulation remains in use where bits genuinely
-/// matter: the MUX tree (select sampling) and fault injection
-/// (`bit_error_rate > 0`).
+/// matter: the MUX tree (select sampling, with AND products deduplicated
+/// through a [`ProductCache`](crate::counts::ProductCache)) and fault
+/// injection (`bit_error_rate > 0`). The shared machinery lives in
+/// [`counts`](crate::counts) and also powers
+/// [`StochasticDenseLayer`](crate::StochasticDenseLayer).
 #[derive(Debug, Clone)]
 pub struct StochasticConvLayer {
     bank: KernelBank,
@@ -174,17 +177,15 @@ pub struct StochasticConvLayer {
     weight_neg: Vec<bool>,
     /// Select streams for the MUX trees (2·(padded−1) streams), empty for TFF.
     select_streams: StreamArena,
-    /// Level-indexed AND-count table, `(2^b + 1) × ksq·K` entries laid out
-    /// `[level][t·K + k]`; empty when the streaming path must run.
-    and_lut: Vec<u16>,
-    /// Per-`(t, k)` lane mask (same layout as one LUT row): `0xFFFF` where
-    /// the weight feeds the positive tree, `0` where it feeds the negative.
-    pos_mask: Vec<u16>,
+    /// Level-indexed AND-count table; `None` when the streaming path must
+    /// run (MUX adder, fault injection, oversized table).
+    lut: Option<LevelCountTable>,
+    /// Prefilled per-(pixel-level, weight) AND products for the MUX path;
+    /// `None` under fault injection (pixel bits are perturbed) or when the
+    /// cache exceeds its budget. Built once at construction, shared by
+    /// every image.
+    mux_products: Option<ProductCache>,
 }
-
-/// Upper bound on AND-count table entries ((2^b + 1) · ksq · kernels);
-/// configurations above it fall back to the streaming engine.
-const MAX_LUT_ENTRIES: usize = 1 << 24;
 
 impl StochasticConvLayer {
     /// Builds the engine from a trained first-layer convolution.
@@ -242,39 +243,45 @@ impl StochasticConvLayer {
 
         // Level-indexed AND-count table (see the type-level docs). Only the
         // TFF adder admits the count-domain shortcut, and fault injection
-        // needs real bits; the u16 lanes additionally require the fold's
-        // transient `2n + 1` to fit (always true for the gated sizes).
-        let row_len = ksq * bank.kernels;
-        let lut_levels = n + 1;
+        // needs real bits; `LevelCountTable::fits` additionally gates the
+        // memory budget and the u16 lane arithmetic.
         let build_lut = options.adder == AdderKind::Tff
             && options.bit_error_rate == 0.0
-            && 2 * n < usize::from(u16::MAX)
-            && lut_levels.saturating_mul(row_len) <= MAX_LUT_ENTRIES;
-        let (and_lut, pos_mask) = if build_lut {
-            let mut lut = vec![0u16; lut_levels * row_len];
-            let mut level_stream = StreamArena::new(1, n)?;
-            for level in 0..lut_levels {
-                level_stream.write_from_levels(0, &pixel_seq, level as u64);
-                let row = &mut lut[level * row_len..(level + 1) * row_len];
-                for t in 0..ksq {
-                    for k in 0..bank.kernels {
-                        row[t * bank.kernels + k] =
-                            and_count(level_stream.stream(0), weight_streams.stream(k * ksq + t))
-                                as u16;
-                    }
-                }
-            }
-            let mut mask = vec![0u16; row_len];
-            for t in 0..ksq {
-                for k in 0..bank.kernels {
-                    if !weight_neg[k * ksq + t] {
-                        mask[t * bank.kernels + k] = u16::MAX;
-                    }
-                }
-            }
-            (lut, mask)
+            && LevelCountTable::fits(n, ksq, bank.kernels);
+        let lut = if build_lut {
+            Some(LevelCountTable::build(
+                &pixel_seq,
+                &weight_streams,
+                &weight_neg,
+                ksq,
+                bank.kernels,
+            )?)
         } else {
-            (Vec::new(), Vec::new())
+            None
+        };
+
+        // MUX AND-product dedup (the count table does not apply — the MUX
+        // output depends on which bits the selects sample — but the AND
+        // products are pure functions of (pixel level, weight stream) as
+        // long as fault injection does not perturb the pixel bits).
+        // Prefilled here once so every image of a dataset reuses the same
+        // products and only the select sampling reruns.
+        let num_weights = bank.kernels * ksq;
+        let mux_products = if options.adder == AdderKind::Mux
+            && options.bit_error_rate == 0.0
+            && ProductCache::fits(n + 1, num_weights, n.div_ceil(64))
+        {
+            let mut cache = ProductCache::new(n + 1, num_weights, n.div_ceil(64));
+            let mut level_stream = StreamArena::new(1, n)?;
+            for level in 0..=n {
+                level_stream.write_from_levels(0, &pixel_seq, level as u64);
+                for idx in 0..num_weights {
+                    cache.product(level, idx, level_stream.stream(0), weight_streams.stream(idx));
+                }
+            }
+            Some(cache)
+        } else {
+            None
         };
 
         Ok(Self {
@@ -287,8 +294,8 @@ impl StochasticConvLayer {
             weight_streams,
             weight_neg,
             select_streams,
-            and_lut,
-            pos_mask,
+            lut,
+            mux_products,
         })
     }
 
@@ -351,15 +358,10 @@ impl StochasticConvLayer {
         // instead of one per pixel: against the fixed shared `pixel_seq`
         // the stream is a pure function of the level, so equal-level pixels
         // share bit patterns and the rest is a word copy.
-        let mut level_words: Vec<Option<Vec<u64>>> = vec![None; self.n + 1];
-        let mut scratch = StreamArena::new(1, self.n)?;
+        let mut level_words = LevelStreamCache::new(&self.pixel_seq)?;
         for (p, &v) in image.iter().enumerate() {
             let level = pixel_level(v, bits) as usize;
-            if level_words[level].is_none() {
-                scratch.write_from_levels(0, &self.pixel_seq, level as u64);
-                level_words[level] = Some(scratch.stream(0).to_vec());
-            }
-            arena.stream_mut(p).copy_from_slice(level_words[level].as_ref().expect("just filled"));
+            arena.stream_mut(p).copy_from_slice(level_words.words(level));
         }
         if self.options.bit_error_rate > 0.0 {
             // Deterministic per image content.
@@ -391,59 +393,10 @@ impl StochasticConvLayer {
         Ok(arena)
     }
 
-    /// Folds TFF-adder-tree counts bottom-up — the closed-form fast path.
-    /// Node numbering matches `scnn_sim::TffAdderTree` exactly
-    /// (cross-validated in the tests).
-    fn fold_counts(&self, counts: &mut [u64]) -> u64 {
-        let mut width = self.padded;
-        let mut node = 0usize;
-        while width > 1 {
-            for i in 0..width / 2 {
-                let sum = counts[2 * i] + counts[2 * i + 1];
-                counts[i] =
-                    if self.options.s0_policy.state_for(node) { sum.div_ceil(2) } else { sum / 2 };
-                node += 1;
-            }
-            width /= 2;
-        }
-        counts[0]
-    }
-
     /// Whether the level-indexed AND-count fast path is active (TFF adder,
     /// no fault injection, table within budget).
     pub fn uses_count_table(&self) -> bool {
-        !self.and_lut.is_empty()
-    }
-
-    /// Folds one tree's counts for all `K = kernels` lanes at once,
-    /// ping-ponging between `a` (holding `padded × K` tap counts on entry;
-    /// lanes `ksq·K..` must be the tree's zero padding) and scratch `b`
-    /// (`(padded/2) × K`), writing the root counts to `out` (`K` lanes).
-    ///
-    /// Per node the lane op is `(x + y + S0) >> 1`, exactly
-    /// `TffAdder::add_count` for both rounding directions, and nodes are
-    /// numbered breadth-first as in `scnn_sim::TffAdderTree` — the lane
-    /// fold is bit-exact with [`fold_counts`](Self::fold_counts) per lane.
-    fn fold_count_lanes(&self, a: &mut [u16], b: &mut [u16], out: &mut [u16]) {
-        let lanes = self.bank.kernels;
-        let mut width = self.padded;
-        let mut node = 0usize;
-        let mut cur: &mut [u16] = a;
-        let mut nxt: &mut [u16] = b;
-        while width > 1 {
-            for i in 0..width / 2 {
-                let s0 = u16::from(self.options.s0_policy.state_for(node));
-                node += 1;
-                let (left, right) = cur[2 * i * lanes..(2 * i + 2) * lanes].split_at(lanes);
-                let dst = &mut nxt[i * lanes..(i + 1) * lanes];
-                for ((d, &x), &y) in dst.iter_mut().zip(left).zip(right) {
-                    *d = (x + y + s0) >> 1;
-                }
-            }
-            std::mem::swap(&mut cur, &mut nxt);
-            width /= 2;
-        }
-        out.copy_from_slice(&cur[..lanes]);
+        self.lut.is_some()
     }
 
     /// The count-domain fast path: quantize each pixel once, gather
@@ -457,48 +410,32 @@ impl StochasticConvLayer {
                 image.len()
             )));
         }
+        let lut = self.lut.as_ref().expect("caller checked uses_count_table");
         let bits = self.precision.bits();
         let lanes = self.bank.kernels;
-        let ksq = self.bank.ksize * self.bank.ksize;
-        let row_len = ksq * lanes;
         let levels: Vec<usize> = image.iter().map(|&v| pixel_level(v, bits) as usize).collect();
         let n_out = IMAGE_SIDE * IMAGE_SIDE;
         let scale = self.padded as f32;
         let n_f = self.n as f32;
         let mut out = vec![0.0f32; lanes * n_out];
-        // Tap-major lane buffers. Slots `ksq..padded` are the tree's zero
-        // padding: the gather rewrites every slot `< ksq` each window and
-        // the fold only writes slots `< padded/4` back into `pos`/`neg`,
-        // so the padding stays zero across windows.
-        let mut pos = vec![0u16; self.padded * lanes];
-        let mut neg = vec![0u16; self.padded * lanes];
-        let half = (self.padded / 2).max(1);
-        let mut pos_scratch = vec![0u16; half * lanes];
-        let mut neg_scratch = vec![0u16; half * lanes];
-        let mut pos_root = vec![0u16; lanes];
-        let mut neg_root = vec![0u16; lanes];
+        let ksq = self.bank.ksize * self.bank.ksize;
+        let policy = self.options.s0_policy;
+        let mut pos = LaneTree::new(ksq, lanes, policy);
+        let mut neg = LaneTree::new(ksq, lanes, policy);
         for oy in 0..IMAGE_SIDE {
             for ox in 0..IMAGE_SIDE {
+                // Every tap's lanes are rewritten per window, which is the
+                // LaneTree reuse contract.
                 for (t, px) in window_taps(self.bank.ksize, oy, ox) {
-                    let pos_dst = &mut pos[t * lanes..(t + 1) * lanes];
-                    let neg_dst = &mut neg[t * lanes..(t + 1) * lanes];
                     if let Some(p) = px {
-                        let row = &self.and_lut[levels[p] * row_len + t * lanes..][..lanes];
-                        let mask = &self.pos_mask[t * lanes..(t + 1) * lanes];
-                        for (((pd, nd), &c), &m) in
-                            pos_dst.iter_mut().zip(neg_dst.iter_mut()).zip(row).zip(mask)
-                        {
-                            let to_pos = c & m;
-                            *pd = to_pos;
-                            *nd = c - to_pos;
-                        }
+                        lut.gather(levels[p], t, pos.tap_lanes_mut(t), neg.tap_lanes_mut(t));
                     } else {
-                        pos_dst.fill(0);
-                        neg_dst.fill(0);
+                        pos.tap_lanes_mut(t).fill(0);
+                        neg.tap_lanes_mut(t).fill(0);
                     }
                 }
-                self.fold_count_lanes(&mut pos, &mut pos_scratch, &mut pos_root);
-                self.fold_count_lanes(&mut neg, &mut neg_scratch, &mut neg_root);
+                let pos_root = pos.fold();
+                let neg_root = neg.fold();
                 let base = oy * IMAGE_SIDE + ox;
                 for k in 0..lanes {
                     let diff = f32::from(pos_root[k]) - f32::from(neg_root[k]);
@@ -522,17 +459,47 @@ impl StochasticConvLayer {
     ///
     /// Returns [`Error::Config`] if the image has the wrong size.
     pub fn forward_image_streaming(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
-        let pixels = self.pixel_streams(image)?;
+        self.forward_image_streaming_impl(image, true)
+    }
+
+    /// The streaming engine body; `use_product_cache` lets the tests pit
+    /// the deduplicated MUX path against the direct per-window recompute.
+    fn forward_image_streaming_impl(
+        &self,
+        image: &[f32],
+        use_product_cache: bool,
+    ) -> Result<Vec<f32>, Error> {
+        if image.len() != IMAGE_SIDE * IMAGE_SIDE {
+            return Err(Error::config(format!(
+                "expected {} pixels, got {}",
+                IMAGE_SIDE * IMAGE_SIDE,
+                image.len()
+            )));
+        }
         let n_out = IMAGE_SIDE * IMAGE_SIDE;
         let ksq = self.bank.ksize * self.bank.ksize;
         let scale = self.padded as f32;
         let n_f = self.n as f32;
+        let policy = self.options.s0_policy;
         let mut out = vec![0.0f32; self.bank.kernels * n_out];
-        let w = pixels.words_per_stream();
+        let w = self.weight_streams.words_per_stream();
         let mut scratch = vec![0u64; self.padded * w];
         let mut next = vec![0u64; (self.padded / 2).max(1) * w];
         let mut pos_counts = vec![0u64; self.padded];
         let mut neg_counts = vec![0u64; self.padded];
+        // MUX AND-product dedup: the engine prefilled one product per
+        // (pixel level, weight) at construction, so repeated windows —
+        // across all images — reuse them and only the select sampling
+        // reruns. The cached path reads no pixel bits at all, only the
+        // levels, so the per-image stream conversion is skipped entirely.
+        let bits = self.precision.bits();
+        let product_cache = if use_product_cache { self.mux_products.as_ref() } else { None };
+        let levels: Vec<usize> = if product_cache.is_some() {
+            image.iter().map(|&v| pixel_level(v, bits) as usize).collect()
+        } else {
+            Vec::new()
+        };
+        let pixels = if product_cache.is_some() { None } else { Some(self.pixel_streams(image)?) };
         for k in 0..self.bank.kernels {
             for oy in 0..IMAGE_SIDE {
                 for ox in 0..IMAGE_SIDE {
@@ -540,13 +507,13 @@ impl StochasticConvLayer {
                         AdderKind::Tff => {
                             pos_counts.fill(0);
                             neg_counts.fill(0);
+                            let arena =
+                                pixels.as_ref().expect("TFF streaming always converts pixels");
                             for (t, px) in window_taps(self.bank.ksize, oy, ox) {
                                 if let Some(p) = px {
                                     let idx = k * ksq + t;
-                                    let c = and_count(
-                                        pixels.stream(p),
-                                        self.weight_streams.stream(idx),
-                                    );
+                                    let c =
+                                        and_count(arena.stream(p), self.weight_streams.stream(idx));
                                     if self.weight_neg[idx] {
                                         neg_counts[t] = c;
                                     } else {
@@ -554,12 +521,27 @@ impl StochasticConvLayer {
                                     }
                                 }
                             }
-                            (self.fold_counts(&mut pos_counts), self.fold_counts(&mut neg_counts))
+                            (
+                                fold_tree_counts(policy, &mut pos_counts),
+                                fold_tree_counts(policy, &mut neg_counts),
+                            )
                         }
-                        AdderKind::Mux => (
-                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 0),
-                            self.mux_window(&pixels, k, oy, ox, &mut scratch, &mut next, 1),
-                        ),
+                        AdderKind::Mux => {
+                            let mut window = |tree| {
+                                self.mux_window(
+                                    pixels.as_ref(),
+                                    &levels,
+                                    product_cache,
+                                    k,
+                                    oy,
+                                    ox,
+                                    &mut scratch,
+                                    &mut next,
+                                    tree,
+                                )
+                            };
+                            (window(0), window(1))
+                        }
                     };
                     // Counter difference, re-normalized to scaled dot-product
                     // units, plus the bias comparator offset.
@@ -576,7 +558,9 @@ impl StochasticConvLayer {
     #[allow(clippy::too_many_arguments)]
     fn mux_window(
         &self,
-        pixels: &StreamArena,
+        pixels: Option<&StreamArena>,
+        levels: &[usize],
+        product_cache: Option<&ProductCache>,
         k: usize,
         oy: usize,
         ox: usize,
@@ -584,7 +568,7 @@ impl StochasticConvLayer {
         next: &mut [u64],
         tree: usize, // 0 = positive, 1 = negative
     ) -> u64 {
-        let w = pixels.words_per_stream();
+        let w = self.weight_streams.words_per_stream();
         let ksq = self.bank.ksize * self.bank.ksize;
         scratch.fill(0);
         for (t, px) in window_taps(self.bank.ksize, oy, ox) {
@@ -594,11 +578,20 @@ impl StochasticConvLayer {
                 continue;
             }
             if let Some(p) = px {
-                let pw = pixels.stream(p);
-                let ww = self.weight_streams.stream(idx);
                 let dst = &mut scratch[t * w..(t + 1) * w];
-                for i in 0..w {
-                    dst[i] = pw[i] & ww[i];
+                match product_cache {
+                    Some(cache) => {
+                        let product = cache.get(levels[p], idx).expect("prefilled at construction");
+                        dst.copy_from_slice(product);
+                    }
+                    None => {
+                        let pw = pixels.expect("pixel streams exist when the cache is absent");
+                        let pw = pw.stream(p);
+                        let ww = self.weight_streams.stream(idx);
+                        for i in 0..w {
+                            dst[i] = pw[i] & ww[i];
+                        }
+                    }
                 }
             }
         }
@@ -686,15 +679,13 @@ mod tests {
         // The inline fold must agree with scnn-sim's TffAdderTree for every
         // policy and count pattern.
         for policy in [S0Policy::AllZero, S0Policy::AllOne, S0Policy::Alternating] {
-            let opts = ScOptions { s0_policy: policy, ..ScOptions::this_work() };
-            let engine = StochasticConvLayer::from_conv(&conv(), precision(6), opts).unwrap();
             let tree = TffAdderTree::new(32, policy).unwrap();
             for seed in 0..20u64 {
                 let counts: Vec<u64> =
                     (0..32).map(|i| (seed.wrapping_mul(31 + i) ^ i) % 65).collect();
                 let mut scratch = counts.clone();
                 assert_eq!(
-                    engine.fold_counts(&mut scratch),
+                    fold_tree_counts(policy, &mut scratch),
                     tree.fold_counts(&counts),
                     "policy {policy:?} seed {seed}"
                 );
@@ -750,8 +741,26 @@ mod tests {
                 }
             }
         }
-        assert_eq!(engine.fold_counts(&mut pos_counts), pos_ref);
-        assert_eq!(engine.fold_counts(&mut neg_counts), neg_ref);
+        let policy = engine.options().s0_policy;
+        assert_eq!(fold_tree_counts(policy, &mut pos_counts), pos_ref);
+        assert_eq!(fold_tree_counts(policy, &mut neg_counts), neg_ref);
+    }
+
+    #[test]
+    fn mux_product_cache_is_transparent() {
+        // The deduplicated MUX streaming path must be bit-identical with
+        // the direct per-window AND recompute for every precision.
+        for bits in [3u32, 4, 6] {
+            let engine =
+                StochasticConvLayer::from_conv(&conv(), precision(bits), ScOptions::old_sc())
+                    .unwrap();
+            let img = test_image(u64::from(bits) * 5 + 2);
+            let cached = engine.forward_image_streaming_impl(&img, true).unwrap();
+            let direct = engine.forward_image_streaming_impl(&img, false).unwrap();
+            assert_eq!(cached, direct, "bits={bits}");
+            // And the public entry points agree with both.
+            assert_eq!(engine.forward_image(&img).unwrap(), cached, "bits={bits}");
+        }
     }
 
     #[test]

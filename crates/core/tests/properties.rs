@@ -3,10 +3,11 @@
 use proptest::prelude::*;
 use scnn_bitstream::Precision;
 use scnn_core::{
-    and_count, BinaryConvLayer, FirstLayer, FloatConvLayer, ScOptions, SourceKind,
-    StochasticConvLayer, StreamArena,
+    and_count, BinaryConvLayer, DenseInput, FirstLayer, FloatConvLayer, HybridLenet, ScOptions,
+    ScenarioSpec, SourceKind, StochasticConvLayer, StochasticDenseLayer, StreamArena,
 };
-use scnn_nn::layers::{Conv2d, Padding};
+use scnn_nn::data::BatchSource;
+use scnn_nn::layers::{Conv2d, Dense, Padding};
 use scnn_sim::{S0Policy, TffAdderTree};
 
 fn small_conv(seed: u64) -> Conv2d {
@@ -233,6 +234,80 @@ proptest! {
         let v = diff + offset;
         let expected = if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 };
         prop_assert_eq!(features[k * 784 + oy * 28 + ox], expected);
+    }
+
+    /// The dense engine's count-domain fast path is bit-exact with the
+    /// streaming reference for every precision, shape and seed, in both
+    /// input modes (ternary mode has no table and must dispatch to the
+    /// streaming path unchanged).
+    #[test]
+    fn dense_lut_forward_matches_streaming(
+        seed in 0u64..5_000,
+        bits in prop_oneof![Just(2u32), Just(4), Just(6), Just(8)],
+        in_features in 1usize..40,
+        out_features in 1usize..8,
+        unipolar in any::<bool>(),
+    ) {
+        let dense = Dense::new(in_features, out_features, seed % 97);
+        let mode = if unipolar { DenseInput::Unipolar } else { DenseInput::Ternary };
+        let layer = StochasticDenseLayer::from_dense(
+            &dense,
+            Precision::new(bits).unwrap(),
+            mode,
+            seed ^ 0x5eed,
+        )
+        .unwrap();
+        prop_assert_eq!(layer.uses_count_table(), unipolar);
+        let input: Vec<f32> = (0..in_features)
+            .map(|i| {
+                let x = ((i as u64 + 1).wrapping_mul(seed | 1) >> 16) % 101;
+                if unipolar { x as f32 / 100.0 } else { [(-1.0f32), 0.0, 1.0][(x % 3) as usize] }
+            })
+            .collect();
+        let forward = layer.forward(&input).unwrap();
+        let streaming = layer.forward_streaming(&input).unwrap();
+        prop_assert_eq!(forward.len(), streaming.len());
+        for (j, (a, b)) in forward.iter().zip(&streaming).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "neuron {} of {:?}", j, mode);
+        }
+    }
+
+    /// Streaming hybrid evaluation (features computed chunk by chunk,
+    /// never materialized) is byte-identical with evaluating the
+    /// materialized feature dataset.
+    #[test]
+    fn streaming_hybrid_evaluation_matches_materialized(
+        seed in 0u64..200,
+        images in 1usize..10,
+        batch_size in 1usize..5,
+    ) {
+        use scnn_nn::data::synthetic;
+        use scnn_nn::lenet::{lenet5_tail, LenetConfig};
+
+        let conv = Conv2d::new(1, 32, 5, Padding::Same, seed % 31 + 1).unwrap();
+        let engine = ScenarioSpec::this_work(4)
+            .customize()
+            .seed(seed)
+            .build()
+            .first_layer(&conv)
+            .unwrap();
+        let mut hybrid = HybridLenet::new(engine, lenet5_tail(&LenetConfig::default()).unwrap());
+        let dataset = synthetic::generate(images, seed ^ 0xD1);
+
+        // The streaming view reports the feature geometry without running
+        // the engine…
+        let view = hybrid.features(&dataset);
+        prop_assert_eq!(view.len(), images);
+        prop_assert_eq!(view.item_shape(), &[32, 14, 14]);
+
+        // …and the two evaluation routes agree bit for bit.
+        let features = hybrid.extract_features(&dataset).unwrap();
+        let materialized = hybrid.tail_mut().evaluate(&features, batch_size).unwrap();
+        let streamed = hybrid.evaluate(&dataset, batch_size).unwrap();
+        prop_assert_eq!(materialized.correct, streamed.correct);
+        prop_assert_eq!(materialized.total, streamed.total);
+        prop_assert_eq!(materialized.accuracy.to_bits(), streamed.accuracy.to_bits());
+        prop_assert_eq!(materialized.loss.to_bits(), streamed.loss.to_bits());
     }
 
     /// All S0 policies and source pairings produce valid engines.

@@ -1,15 +1,24 @@
-//! Datasets: the MNIST IDX parser and the synthetic digit generator.
+//! Datasets: the MNIST IDX parser, the synthetic digit generator, and
+//! chunked streaming access.
 //!
 //! The paper evaluates on MNIST (LeCun et al.). In an offline environment
 //! the four IDX files may be unavailable, so [`load_or_synthesize`] falls
 //! back to [`synthetic::generate`], a procedural stroke-rendered digit set
 //! with the same geometry (28×28, 8-bit grayscale, labels 0–9). Every
 //! experiment harness reports which source was used.
+//!
+//! For datasets too large to hold in memory, [`BatchSource`] provides
+//! contiguous-chunk access ([`Dataset`] implements it; [`ChunkLoader`]
+//! adapts a chunk-producing closure), and
+//! [`Network::evaluate`](crate::Network::evaluate) consumes any such
+//! source with byte-identical results.
 
 mod idx;
+mod source;
 pub mod synthetic;
 
 pub use idx::{load_mnist, parse_idx_images, parse_idx_labels};
+pub use source::{BatchSource, ChunkLoader};
 
 use crate::{Error, Tensor};
 use rand::rngs::StdRng;

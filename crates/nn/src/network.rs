@@ -1,4 +1,4 @@
-use crate::data::Dataset;
+use crate::data::{BatchSource, Dataset};
 use crate::layers::Layer;
 use crate::optim::Optimizer;
 use crate::{softmax_cross_entropy, Error, Tensor};
@@ -219,25 +219,34 @@ impl Network {
             .collect())
     }
 
-    /// Classification accuracy and loss over a whole dataset.
+    /// Classification accuracy and loss over a whole [`BatchSource`] —
+    /// an in-memory [`Dataset`], a streaming
+    /// [`ChunkLoader`](crate::data::ChunkLoader), or any other chunked
+    /// source; only one batch per worker is materialized at a time.
     ///
     /// Batches are distributed over the [`parallel`](crate::parallel)
     /// worker threads (one network clone per worker); per-batch results are
     /// reduced in batch order, so the evaluation is identical for every
-    /// `SCNN_THREADS` setting.
+    /// `SCNN_THREADS` setting and byte-identical between a streaming
+    /// source and its materialized equivalent (property-tested).
     ///
     /// # Errors
     ///
-    /// Propagates layer shape errors.
-    pub fn evaluate(&mut self, dataset: &Dataset, batch_size: usize) -> Result<Evaluation, Error> {
+    /// Propagates layer shape and source errors.
+    pub fn evaluate<S: BatchSource + ?Sized>(
+        &mut self,
+        source: &S,
+        batch_size: usize,
+    ) -> Result<Evaluation, Error> {
         assert!(batch_size > 0, "batch size must be positive");
-        let indices: Vec<usize> = (0..dataset.len()).collect();
-        let batches: Vec<&[usize]> = indices.chunks(batch_size).collect();
+        let total = source.len();
+        let batches: Vec<std::ops::Range<usize>> =
+            (0..total).step_by(batch_size).map(|s| s..(s + batch_size).min(total)).collect();
         let net: &Network = self;
         let per_batch: Vec<Result<(usize, f64), Error>> =
             crate::parallel::par_chunk_map(batches.len(), |range| {
                 let mut worker = net.clone();
-                range.map(|bi| worker.evaluate_batch(dataset, batches[bi])).collect()
+                range.map(|bi| worker.evaluate_batch(source, batches[bi].clone())).collect()
             });
         let mut correct = 0usize;
         let mut loss_total = 0.0f64;
@@ -247,20 +256,20 @@ impl Network {
             loss_total += batch_loss;
         }
         Ok(Evaluation {
-            accuracy: correct as f64 / dataset.len() as f64,
+            accuracy: correct as f64 / total as f64,
             loss: (loss_total / batches.len().max(1) as f64) as f32,
             correct,
-            total: dataset.len(),
+            total,
         })
     }
 
     /// One evaluation batch: forward, loss, and correct-prediction count.
-    fn evaluate_batch(
+    fn evaluate_batch<S: BatchSource + ?Sized>(
         &mut self,
-        dataset: &Dataset,
-        chunk: &[usize],
+        source: &S,
+        chunk: std::ops::Range<usize>,
     ) -> Result<(usize, f64), Error> {
-        let (x, labels) = dataset.batch(chunk)?;
+        let (x, labels) = source.batch_range(chunk)?;
         let logits = self.forward(&x, false)?;
         let (loss, _) = softmax_cross_entropy(&logits, &labels)?;
         let &[batch, classes] = logits.shape() else {

@@ -1,11 +1,67 @@
 //! Property-based tests for the training framework.
 
 use proptest::prelude::*;
+use scnn_nn::data::{BatchSource, ChunkLoader, Dataset};
 use scnn_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Padding, Relu, Sign};
 use scnn_nn::quant::{pixel_level, quantize_bipolar, scale_kernels, soft_threshold, weight_level};
-use scnn_nn::{softmax_cross_entropy, Tensor};
+use scnn_nn::{softmax_cross_entropy, Network, Tensor};
 
 proptest! {
+    /// Evaluating over a streaming `ChunkLoader` is byte-identical with
+    /// evaluating the materialized `Dataset` it mirrors, for every batch
+    /// size and chunk alignment.
+    #[test]
+    fn streaming_chunks_match_materialized_dataset(
+        seed in 0u64..500,
+        items in 1usize..40,
+        batch_size in 1usize..17,
+    ) {
+        let item_len = 6usize;
+        let data: Vec<f32> = (0..items * item_len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(seed * 2 + 1).wrapping_mul(0x9e37_79b9);
+                ((x >> 24) & 0xff) as f32 / 255.0
+            })
+            .collect();
+        let labels: Vec<u8> = (0..items).map(|i| ((i as u64 * 7 + seed) % 3) as u8).collect();
+        let dataset = Dataset::new(data.clone(), &[item_len], labels.clone()).unwrap();
+        let streamed = ChunkLoader::new(items, &[item_len], move |range| {
+            Ok((
+                data[range.start * item_len..range.end * item_len].to_vec(),
+                labels[range.clone()].to_vec(),
+            ))
+        });
+
+        let mut net = Network::new();
+        net.push(Dense::new(item_len, 3, seed ^ 0xBEEF));
+        let from_dataset = net.evaluate(&dataset, batch_size).unwrap();
+        let from_stream = net.evaluate(&streamed, batch_size).unwrap();
+        prop_assert_eq!(from_dataset.correct, from_stream.correct);
+        prop_assert_eq!(from_dataset.total, from_stream.total);
+        prop_assert_eq!(from_dataset.accuracy.to_bits(), from_stream.accuracy.to_bits());
+        prop_assert_eq!(from_dataset.loss.to_bits(), from_stream.loss.to_bits());
+    }
+
+    /// `batch_range` tiles: any partition of the index space concatenates
+    /// back to the full batch, for both sources.
+    #[test]
+    fn batch_ranges_tile_the_source(seed in 0u64..200, split in 1usize..9) {
+        let items = 10usize;
+        let data: Vec<f32> = (0..items * 2).map(|i| (i as u64 ^ seed) as f32).collect();
+        let labels: Vec<u8> = (0..items as u8).collect();
+        let ds = Dataset::new(data, &[2], labels).unwrap();
+        let split = split.min(items);
+        let (full, full_labels) = ds.batch_range(0..items).unwrap();
+        let (a, la) = ds.batch_range(0..split).unwrap();
+        let (b, lb) = ds.batch_range(split..items).unwrap();
+        let mut joined = a.data().to_vec();
+        joined.extend_from_slice(b.data());
+        prop_assert_eq!(joined, full.data().to_vec());
+        let mut joined_labels = la;
+        joined_labels.extend(lb);
+        prop_assert_eq!(joined_labels, full_labels);
+    }
+
     /// Conv2d is linear: conv(a·x) == a·conv(x) (bias removed).
     #[test]
     fn conv_is_linear(seed in 0u64..1000, alpha in -2.0f32..2.0) {
