@@ -15,12 +15,13 @@
 
 use criterion::{BenchmarkId, Criterion};
 use scnn_bench::report::BenchJson;
-use scnn_core::ScenarioSpec;
+use scnn_core::{LaneWidth, ScenarioSpec};
 use scnn_nn::layers::Dense;
 use std::hint::black_box;
 use std::time::Duration;
 
 const PRECISIONS: [u32; 3] = [4, 6, 8];
+const WIDTHS: [LaneWidth; 4] = [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64, LaneWidth::U128];
 
 fn main() {
     // The ablation_fully_stochastic layer-1 shape: 784 pixels → 48 neurons.
@@ -43,6 +44,21 @@ fn main() {
             b.iter(|| l.forward_streaming(black_box(&input)).expect("forward"));
             json.record(&format!("dense_forward/unipolar_streaming/{bits}"), b.last_ns_per_iter);
         });
+        // The lane-width sweep: one count-domain engine per LaneWord, so
+        // bench_gate tracks each width separately.
+        for width in WIDTHS {
+            let layer = ScenarioSpec::this_work(bits)
+                .customize()
+                .lane_width(width)
+                .build()
+                .dense_layer(&dense)
+                .expect("engine");
+            let id = BenchmarkId::new(format!("lanes_{width}"), bits);
+            group.bench_with_input(id, &layer, |b, l| {
+                b.iter(|| l.forward(black_box(&input)).expect("forward"));
+                json.record(&format!("dense_forward/lanes_{width}/{bits}"), b.last_ns_per_iter);
+            });
+        }
     }
     group.finish();
 
@@ -53,6 +69,15 @@ fn main() {
             let speedup = streaming / lut;
             json.record(&format!("dense_forward/speedup_lut_x/{bits}"), speedup);
             println!("dense_forward: {bits}-bit count-table speedup {speedup:.1}x over streaming");
+        }
+        // Wide-lane speedup vs the retained u16 baseline (the default path
+        // is u64 lanes, so this is the measured win of the redesign).
+        let u16_ns = json.get(&format!("dense_forward/lanes_u16/{bits}"));
+        let u64_ns = json.get(&format!("dense_forward/lanes_u64/{bits}"));
+        if let (Some(u16_ns), Some(u64_ns)) = (u16_ns, u64_ns) {
+            let speedup = u16_ns / u64_ns;
+            json.record(&format!("dense_forward/speedup_lanes_u64_x/{bits}"), speedup);
+            println!("dense_forward: {bits}-bit u64-lane speedup {speedup:.1}x over u16 lanes");
         }
     }
     json.write(&path).expect("write BENCH.json");

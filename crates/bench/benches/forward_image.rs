@@ -17,13 +17,14 @@
 use criterion::{BenchmarkId, Criterion};
 use scnn_bench::report::BenchJson;
 use scnn_bitstream::Precision;
-use scnn_core::{FirstLayer, ScOptions, StochasticConvLayer};
+use scnn_core::{FirstLayer, LaneWidth, ScOptions, StochasticConvLayer};
 use scnn_nn::data::synthetic;
 use scnn_nn::layers::{Conv2d, Padding};
 use std::hint::black_box;
 use std::time::Duration;
 
 const PRECISIONS: [u32; 3] = [4, 6, 8];
+const WIDTHS: [LaneWidth; 4] = [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64, LaneWidth::U128];
 
 fn main() {
     let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
@@ -47,6 +48,17 @@ fn main() {
             b.iter(|| e.forward_image_streaming(black_box(&image)).expect("forward"));
             json.record(&format!("forward_image/tff_streaming/{bits}"), b.last_ns_per_iter);
         });
+        // The lane-width sweep: one count-domain engine per LaneWord, so
+        // bench_gate tracks each width separately.
+        for width in WIDTHS {
+            let opts = ScOptions { lane_width: width, ..ScOptions::this_work() };
+            let engine = StochasticConvLayer::from_conv(&conv, precision, opts).expect("engine");
+            let id = BenchmarkId::new(format!("lanes_{width}"), bits);
+            group.bench_with_input(id, &engine, |b, e| {
+                b.iter(|| e.forward_image(black_box(&image)).expect("forward"));
+                json.record(&format!("forward_image/lanes_{width}/{bits}"), b.last_ns_per_iter);
+            });
+        }
     }
     group.finish();
 
@@ -59,6 +71,15 @@ fn main() {
             println!(
                 "forward_image: {bits}-bit TFF count-table speedup {speedup:.1}x over streaming"
             );
+        }
+        // Wide-lane speedup vs the retained u16 baseline (the default path
+        // is u64 lanes, so this is the measured win of the redesign).
+        let u16_ns = json.get(&format!("forward_image/lanes_u16/{bits}"));
+        let u64_ns = json.get(&format!("forward_image/lanes_u64/{bits}"));
+        if let (Some(u16_ns), Some(u64_ns)) = (u16_ns, u64_ns) {
+            let speedup = u16_ns / u64_ns;
+            json.record(&format!("forward_image/speedup_lanes_u64_x/{bits}"), speedup);
+            println!("forward_image: {bits}-bit u64-lane speedup {speedup:.1}x over u16 lanes");
         }
     }
     json.write(&path).expect("write BENCH.json");

@@ -32,6 +32,7 @@
 //! ```
 
 use crate::baseline::{BinaryConvLayer, FirstLayer, FloatConvLayer};
+use crate::counts::LaneWidth;
 use crate::dense::{DenseInput, StochasticDenseLayer};
 use crate::hybrid::HybridLenet;
 use crate::stochastic::{AdderKind, ScOptions, SourceKind, StochasticConvLayer};
@@ -85,6 +86,12 @@ pub struct ScenarioSpec {
     pub input_mode: DenseInput,
     /// Seed for LFSRs, random sources and fault injection.
     pub seed: u64,
+    /// [`LaneWord`](crate::counts::LaneWord) width of the count-domain
+    /// fold. Every preset keeps [`LaneWidth::Auto`] (pick `u64` when the
+    /// count path applies, stream otherwise), so recorded tables are
+    /// unchanged; an explicit width pins the fold and makes unavailable
+    /// configurations a compile error.
+    pub lane_width: LaneWidth,
 }
 
 impl ScenarioSpec {
@@ -125,6 +132,7 @@ impl ScenarioSpec {
             bit_error_rate: options.bit_error_rate,
             input_mode: DenseInput::Unipolar,
             seed: options.seed,
+            lane_width: options.lane_width,
         }
     }
 
@@ -152,7 +160,33 @@ impl ScenarioSpec {
             soft_threshold: self.soft_threshold,
             bit_error_rate: self.bit_error_rate,
             seed: self.seed,
+            lane_width: self.lane_width,
         }
+    }
+
+    /// Rejects lane-width requests the compiled engine could not honor:
+    /// an explicit width needs a stochastic head and a precision whose
+    /// stream counts fit the shared 16-bit lane ceiling (≤ 14 bits).
+    /// The engine constructors enforce the remaining count-path
+    /// requirements (TFF adder, zero bit-error rate, table budget).
+    fn validate_lane_width(&self) -> Result<(), Error> {
+        if self.lane_width == LaneWidth::Auto {
+            return Ok(());
+        }
+        if self.head != HeadKind::Stochastic {
+            return Err(Error::config(format!(
+                "lane width {} only applies to stochastic scenarios, got {:?}",
+                self.lane_width, self.head
+            )));
+        }
+        let n = self.precision()?.stream_len();
+        if !self.lane_width.supports_counts_to(n) {
+            return Err(Error::config(format!(
+                "{}-bit streams ({} counts) overflow the 16-bit lanes of lane width {}",
+                self.bits, n, self.lane_width
+            )));
+        }
+        Ok(())
     }
 
     /// The engine's report label (matches [`FirstLayer::label`]).
@@ -172,6 +206,7 @@ impl ScenarioSpec {
     ///
     /// Propagates precision and engine-construction errors.
     pub fn first_layer(&self, conv: &Conv2d) -> Result<Box<dyn FirstLayer>, Error> {
+        self.validate_lane_width()?;
         Ok(match self.head {
             HeadKind::Float => Box::new(FloatConvLayer::from_conv(conv, self.soft_threshold)?),
             HeadKind::Binary => {
@@ -201,6 +236,7 @@ impl ScenarioSpec {
                 self.head
             )));
         }
+        self.validate_lane_width()?;
         StochasticConvLayer::from_conv(conv, self.precision()?, self.sc_options())
     }
 
@@ -250,7 +286,14 @@ impl ScenarioSpec {
                 "the dense engine does not implement non-default `{field}` scenarios"
             )));
         }
-        StochasticDenseLayer::from_dense(dense, self.precision()?, self.input_mode, self.seed)
+        self.validate_lane_width()?;
+        StochasticDenseLayer::from_dense_with_width(
+            dense,
+            self.precision()?,
+            self.input_mode,
+            self.lane_width,
+            self.seed,
+        )
     }
 }
 
@@ -319,6 +362,12 @@ impl ScenarioBuilder {
     /// Sets the scenario seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
+        self
+    }
+
+    /// Sets the count-domain [`LaneWidth`].
+    pub fn lane_width(mut self, width: LaneWidth) -> Self {
+        self.spec.lane_width = width;
         self
     }
 
@@ -449,5 +498,48 @@ mod tests {
     fn invalid_precision_is_reported() {
         assert!(ScenarioSpec::this_work(99).precision().is_err());
         assert!(ScenarioSpec::this_work(99).first_layer(&conv()).is_err());
+    }
+
+    #[test]
+    fn presets_keep_auto_lane_width() {
+        for spec in [
+            ScenarioSpec::this_work(6),
+            ScenarioSpec::old_sc(6),
+            ScenarioSpec::binary(6),
+            ScenarioSpec::float(),
+        ] {
+            assert_eq!(spec.lane_width, LaneWidth::Auto);
+        }
+    }
+
+    #[test]
+    fn lane_width_round_trips_and_compiles() {
+        let spec = ScenarioSpec::this_work(6).customize().lane_width(LaneWidth::U128).build();
+        assert_eq!(spec.lane_width, LaneWidth::U128);
+        assert_eq!(spec.sc_options().lane_width, LaneWidth::U128);
+        let engine = spec.stochastic_conv(&conv()).unwrap();
+        assert_eq!(engine.lane_width(), Some(LaneWidth::U128));
+        let dense = Dense::new(8, 2, 1);
+        let layer = spec.dense_layer(&dense).unwrap();
+        assert_eq!(layer.lane_width(), Some(LaneWidth::U128));
+    }
+
+    #[test]
+    fn lane_width_validation_rejects_bad_combinations() {
+        // Overflowing precision: 15-bit streams exceed the 16-bit lane
+        // ceiling shared by every width.
+        let wide = ScenarioSpec::this_work(15).customize().lane_width(LaneWidth::U64).build();
+        let err = wide.validate_lane_width().unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        assert!(wide.first_layer(&conv()).is_err());
+        // Auto at the same precision streams instead of erroring.
+        let auto = ScenarioSpec::this_work(15);
+        assert!(auto.validate_lane_width().is_ok());
+        // Non-stochastic heads have no count-domain fold to pin.
+        let binary = ScenarioSpec::binary(6).customize().lane_width(LaneWidth::U64).build();
+        assert!(binary.first_layer(&conv()).is_err());
+        // The MUX adder rejection surfaces from the engine constructor.
+        let mux = ScenarioSpec::old_sc(6).customize().lane_width(LaneWidth::U64).build();
+        assert!(mux.first_layer(&conv()).is_err());
     }
 }

@@ -1,6 +1,9 @@
 use crate::arena::{and_count, mux_words, StreamArena};
 use crate::baseline::{ternary, window_taps, FirstLayer, KernelBank, IMAGE_SIDE};
-use crate::counts::{fold_tree_counts, LaneTree, LevelCountTable, LevelStreamCache, ProductCache};
+use crate::counts::{
+    fold_tree_counts_wide, table_fits, AnyLevelCountTable, LaneWidth, LaneWord, LevelCountTable,
+    LevelStreamCache, ProductCache, ScratchPool,
+};
 use crate::Error;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,6 +86,11 @@ pub struct ScOptions {
     pub bit_error_rate: f64,
     /// Seed for LFSRs, random sources and fault injection.
     pub seed: u64,
+    /// [`LaneWord`] width of the count-domain fold. [`LaneWidth::Auto`]
+    /// (every preset) picks `u64` when the count path is available and
+    /// falls back to streaming otherwise; an explicit width turns that
+    /// fallback into a construction error.
+    pub lane_width: LaneWidth,
 }
 
 impl ScOptions {
@@ -97,6 +105,7 @@ impl ScOptions {
             soft_threshold: 0.0,
             bit_error_rate: 0.0,
             seed: 42,
+            lane_width: LaneWidth::Auto,
         }
     }
 
@@ -111,6 +120,7 @@ impl ScOptions {
             soft_threshold: 0.0,
             bit_error_rate: 0.0,
             seed: 42,
+            lane_width: LaneWidth::Auto,
         }
     }
 }
@@ -177,9 +187,10 @@ pub struct StochasticConvLayer {
     weight_neg: Vec<bool>,
     /// Select streams for the MUX trees (2·(padded−1) streams), empty for TFF.
     select_streams: StreamArena,
-    /// Level-indexed AND-count table; `None` when the streaming path must
-    /// run (MUX adder, fault injection, oversized table).
-    lut: Option<LevelCountTable>,
+    /// Level-indexed AND-count table of the configured [`LaneWidth`];
+    /// `None` when the streaming path must run (MUX adder, fault
+    /// injection, oversized table).
+    lut: Option<AnyLevelCountTable>,
     /// Prefilled per-(pixel-level, weight) AND products for the MUX path;
     /// `None` under fault injection (pixel bits are perturbed) or when the
     /// cache exceeds its budget. Built once at construction, shared by
@@ -243,19 +254,29 @@ impl StochasticConvLayer {
 
         // Level-indexed AND-count table (see the type-level docs). Only the
         // TFF adder admits the count-domain shortcut, and fault injection
-        // needs real bits; `LevelCountTable::fits` additionally gates the
-        // memory budget and the u16 lane arithmetic.
-        let build_lut = options.adder == AdderKind::Tff
+        // needs real bits; `table_fits` additionally gates the memory
+        // budget and the 16-bit lane arithmetic shared by every width.
+        let count_path = options.adder == AdderKind::Tff
             && options.bit_error_rate == 0.0
-            && LevelCountTable::fits(n, ksq, bank.kernels);
-        let lut = if build_lut {
-            Some(LevelCountTable::build(
+            && table_fits(n, ksq, bank.kernels)
+            && options.lane_width.supports_counts_to(n);
+        let lut = if count_path {
+            Some(AnyLevelCountTable::build(
+                options.lane_width,
                 &pixel_seq,
                 &weight_streams,
                 &weight_neg,
                 ksq,
                 bank.kernels,
             )?)
+        } else if options.lane_width != LaneWidth::Auto {
+            // An explicit width pins the count-domain fold; the silent
+            // streaming fallback would ignore it.
+            return Err(Error::config(format!(
+                "lane width {} requires the count-domain path (TFF adder, zero bit-error rate, \
+                 table within budget, stream counts within the 16-bit lane ceiling)",
+                options.lane_width
+            )));
         } else {
             None
         };
@@ -399,10 +420,32 @@ impl StochasticConvLayer {
         self.lut.is_some()
     }
 
-    /// The count-domain fast path: quantize each pixel once, gather
-    /// per-tap AND counts for all kernels from the level-indexed table,
-    /// and fold both trees in kernel lanes.
+    /// The concrete [`LaneWidth`] of the count-domain fold (never `Auto`),
+    /// or `None` when the engine runs the streaming path.
+    pub fn lane_width(&self) -> Option<LaneWidth> {
+        self.lut.as_ref().map(AnyLevelCountTable::width)
+    }
+
+    /// The count-domain fast path: dispatches the configured lane width
+    /// into the monomorphized fold.
     fn forward_image_lut(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
+        match self.lut.as_ref().expect("caller checked uses_count_table") {
+            AnyLevelCountTable::U16(lut) => self.forward_image_lut_typed(lut, image),
+            AnyLevelCountTable::U32(lut) => self.forward_image_lut_typed(lut, image),
+            AnyLevelCountTable::U64(lut) => self.forward_image_lut_typed(lut, image),
+            AnyLevelCountTable::U128(lut) => self.forward_image_lut_typed(lut, image),
+        }
+    }
+
+    /// The count-domain fast path over one [`LaneWord`]: quantize each
+    /// pixel once, gather per-tap AND counts for all kernels from the
+    /// level-indexed table, and fold both trees in packed kernel lanes on
+    /// pooled scratch.
+    fn forward_image_lut_typed<W: LaneWord>(
+        &self,
+        lut: &LevelCountTable<W>,
+        image: &[f32],
+    ) -> Result<Vec<f32>, Error> {
         if image.len() != IMAGE_SIDE * IMAGE_SIDE {
             return Err(Error::config(format!(
                 "expected {} pixels, got {}",
@@ -410,7 +453,6 @@ impl StochasticConvLayer {
                 image.len()
             )));
         }
-        let lut = self.lut.as_ref().expect("caller checked uses_count_table");
         let bits = self.precision.bits();
         let lanes = self.bank.kernels;
         let levels: Vec<usize> = image.iter().map(|&v| pixel_level(v, bits) as usize).collect();
@@ -420,8 +462,8 @@ impl StochasticConvLayer {
         let mut out = vec![0.0f32; lanes * n_out];
         let ksq = self.bank.ksize * self.bank.ksize;
         let policy = self.options.s0_policy;
-        let mut pos = LaneTree::new(ksq, lanes, policy);
-        let mut neg = LaneTree::new(ksq, lanes, policy);
+        let mut pos = ScratchPool::checkout::<W>(ksq, lanes, policy, self.n)?;
+        let mut neg = ScratchPool::checkout::<W>(ksq, lanes, policy, self.n)?;
         for oy in 0..IMAGE_SIDE {
             for ox in 0..IMAGE_SIDE {
                 // Every tap's lanes are rewritten per window, which is the
@@ -430,15 +472,15 @@ impl StochasticConvLayer {
                     if let Some(p) = px {
                         lut.gather(levels[p], t, pos.tap_lanes_mut(t), neg.tap_lanes_mut(t));
                     } else {
-                        pos.tap_lanes_mut(t).fill(0);
-                        neg.tap_lanes_mut(t).fill(0);
+                        pos.tap_lanes_mut(t).fill(W::ZERO);
+                        neg.tap_lanes_mut(t).fill(W::ZERO);
                     }
                 }
-                let pos_root = pos.fold();
-                let neg_root = neg.fold();
+                pos.fold();
+                neg.fold();
                 let base = oy * IMAGE_SIDE + ox;
                 for k in 0..lanes {
-                    let diff = f32::from(pos_root[k]) - f32::from(neg_root[k]);
+                    let diff = f32::from(pos.root_lane(k)) - f32::from(neg.root_lane(k));
                     let v = diff * scale / n_f + self.bank.offsets[k];
                     out[k * n_out + base] = ternary(v, self.options.soft_threshold);
                 }
@@ -522,8 +564,8 @@ impl StochasticConvLayer {
                                 }
                             }
                             (
-                                fold_tree_counts(policy, &mut pos_counts),
-                                fold_tree_counts(policy, &mut neg_counts),
+                                fold_tree_counts_wide(policy, &mut pos_counts),
+                                fold_tree_counts_wide(policy, &mut neg_counts),
                             )
                         }
                         AdderKind::Mux => {
@@ -685,7 +727,7 @@ mod tests {
                     (0..32).map(|i| (seed.wrapping_mul(31 + i) ^ i) % 65).collect();
                 let mut scratch = counts.clone();
                 assert_eq!(
-                    fold_tree_counts(policy, &mut scratch),
+                    fold_tree_counts_wide(policy, &mut scratch),
                     tree.fold_counts(&counts),
                     "policy {policy:?} seed {seed}"
                 );
@@ -742,8 +784,8 @@ mod tests {
             }
         }
         let policy = engine.options().s0_policy;
-        assert_eq!(fold_tree_counts(policy, &mut pos_counts), pos_ref);
-        assert_eq!(fold_tree_counts(policy, &mut neg_counts), neg_ref);
+        assert_eq!(fold_tree_counts_wide(policy, &mut pos_counts), pos_ref);
+        assert_eq!(fold_tree_counts_wide(policy, &mut neg_counts), neg_ref);
     }
 
     #[test]
@@ -862,9 +904,48 @@ mod tests {
         let noisy = ScOptions { bit_error_rate: 0.01, ..ScOptions::this_work() };
         let engine = StochasticConvLayer::from_conv(&conv(), precision(4), noisy).unwrap();
         assert!(!engine.uses_count_table());
+        assert_eq!(engine.lane_width(), None);
         let mux =
             StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::old_sc()).unwrap();
         assert!(!mux.uses_count_table());
+    }
+
+    #[test]
+    fn auto_width_resolves_to_u64_by_default() {
+        let engine =
+            StochasticConvLayer::from_conv(&conv(), precision(6), ScOptions::this_work()).unwrap();
+        assert_eq!(engine.lane_width(), Some(LaneWidth::U64));
+    }
+
+    #[test]
+    fn every_lane_width_is_bit_exact_with_streaming() {
+        let img = test_image(29);
+        let reference =
+            StochasticConvLayer::from_conv(&conv(), precision(6), ScOptions::this_work())
+                .unwrap()
+                .forward_image_streaming(&img)
+                .unwrap();
+        for width in [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64, LaneWidth::U128] {
+            let opts = ScOptions { lane_width: width, ..ScOptions::this_work() };
+            let engine = StochasticConvLayer::from_conv(&conv(), precision(6), opts).unwrap();
+            assert_eq!(engine.lane_width(), Some(width));
+            assert_eq!(engine.forward_image(&img).unwrap(), reference, "width={width}");
+        }
+    }
+
+    #[test]
+    fn explicit_width_rejects_streaming_only_configurations() {
+        let mux = ScOptions { lane_width: LaneWidth::U64, ..ScOptions::old_sc() };
+        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), mux).is_err());
+        let noisy = ScOptions {
+            lane_width: LaneWidth::U32,
+            bit_error_rate: 0.01,
+            ..ScOptions::this_work()
+        };
+        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), noisy).is_err());
+        // Auto silently falls back instead.
+        let auto_noisy = ScOptions { bit_error_rate: 0.01, ..ScOptions::this_work() };
+        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), auto_noisy).is_ok());
     }
 
     #[test]

@@ -53,3 +53,41 @@ fn parallel_evaluation_identical_for_any_thread_count() {
     let parallel = scnn_core::parallel::par_map_range_threads(4, 40, |i| i * i);
     assert_eq!(serial, parallel);
 }
+
+/// The per-thread `ScratchPool` behind the count-domain forwards must not
+/// perturb results across worker-thread counts: each worker checks trees
+/// out of its own thread-local pool, so recycling is invisible to the
+/// output (byte-identity already covered above) and pools actually retain
+/// buffers per thread.
+#[test]
+fn scratch_pool_is_per_thread_and_transparent() {
+    use scnn_core::ScratchPool;
+    use scnn_sim::S0Policy;
+
+    // A fresh worker thread starts with an empty pool, parks its trees on
+    // drop, and reuses them on the next checkout — all thread-locally.
+    let handle = std::thread::spawn(|| {
+        assert_eq!(ScratchPool::thread_pooled::<u64>(), 0);
+        let tree = ScratchPool::checkout::<u64>(25, 32, S0Policy::Alternating, 16).unwrap();
+        drop(tree);
+        let after_first = ScratchPool::thread_pooled::<u64>();
+        let tree = ScratchPool::checkout::<u64>(25, 32, S0Policy::Alternating, 16).unwrap();
+        let during_second = ScratchPool::thread_pooled::<u64>();
+        drop(tree);
+        (after_first, during_second)
+    });
+    let (after_first, during_second) = handle.join().unwrap();
+    assert_eq!(after_first, 1);
+    assert_eq!(during_second, 0, "the second checkout must recycle the parked tree");
+
+    // And a forward on the main thread parks its trees here, not on the
+    // worker threads (the pool is thread-local, not global).
+    let conv = Conv2d::new(1, 8, 5, Padding::Same, 23).unwrap();
+    let engine =
+        StochasticConvLayer::from_conv(&conv, Precision::new(4).unwrap(), ScOptions::this_work())
+            .unwrap();
+    let image: Vec<f32> = (0..784).map(|i| (i % 100) as f32 / 99.0).collect();
+    let before = ScratchPool::thread_pooled::<u64>();
+    scnn_core::FirstLayer::forward_image(&engine, &image).unwrap();
+    assert!(ScratchPool::thread_pooled::<u64>() >= before.max(2).min(before + 2));
+}
