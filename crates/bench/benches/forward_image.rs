@@ -9,6 +9,14 @@
 //! future PRs can diff them. The acceptance bar for the count-table fast
 //! path is a ≥ 10× speedup at 8-bit precision.
 //!
+//! A dataset pass additionally measures window memoization
+//! (`scnn_core::WindowCache`): per-image forward time over a real image
+//! set with the cache off versus on at the default budget, the cold
+//! first-pass hit rate, and the derived cached-vs-uncached speedup. The
+//! timing keys reflect steady state (the cache stays warm across
+//! measurement iterations, exactly as it does across a dataset
+//! evaluation); the hit-rate key is measured on one cold pass.
+//!
 //! ```text
 //! cargo bench -p scnn-bench --bench forward_image            # measured
 //! SCNN_BENCH_QUICK=1 cargo bench -p scnn-bench --bench forward_image
@@ -17,11 +25,14 @@
 use criterion::{BenchmarkId, Criterion};
 use scnn_bench::report::BenchJson;
 use scnn_bitstream::Precision;
-use scnn_core::{FirstLayer, LaneWidth, ScOptions, StochasticConvLayer};
-use scnn_nn::data::synthetic;
+use scnn_core::{FirstLayer, LaneWidth, ScOptions, StochasticConvLayer, WindowCacheMode};
+use scnn_nn::data::{load_or_synthesize, synthetic};
 use scnn_nn::layers::{Conv2d, Padding};
 use std::hint::black_box;
+use std::path::Path;
 use std::time::Duration;
+
+const DATASET_IMAGES: usize = 64;
 
 const PRECISIONS: [u32; 3] = [4, 6, 8];
 const WIDTHS: [LaneWidth; 4] = [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64, LaneWidth::U128];
@@ -61,6 +72,86 @@ fn main() {
         }
     }
     group.finish();
+
+    // Dataset pass: window memoization off vs on at the default budget,
+    // over real images (MNIST when `data/mnist` is present, synthetic
+    // digits otherwise — the keys name the source).
+    let (dataset, _, source) =
+        load_or_synthesize(Path::new("data/mnist"), DATASET_IMAGES, 1, 20170327).expect("dataset");
+    let images: Vec<&[f32]> = (0..dataset.len()).map(|i| dataset.item(i)).collect();
+    let mut group = criterion.benchmark_group("forward_image");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for bits in PRECISIONS {
+        let precision = Precision::new(bits).expect("valid");
+        let plain = StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work())
+            .expect("engine");
+        let opts = ScOptions { window_cache: WindowCacheMode::on(), ..ScOptions::this_work() };
+        let cached = StochasticConvLayer::from_conv(&conv, precision, opts).expect("engine");
+
+        // One cold pass measures the honest first-visit hit rate (and
+        // doubles as correctness insurance before the timing loops).
+        for (i, image) in images.iter().enumerate() {
+            let expect = plain.forward_image(image).expect("forward");
+            assert_eq!(expect, cached.forward_image(image).expect("forward"), "image {i}");
+        }
+        let stats = cached.window_cache_stats().expect("cache stats");
+        json.record(
+            &format!("forward_image/window_cache/hit_rate/{source}/{bits}"),
+            stats.hit_rate(),
+        );
+        json.record(&format!("forward_image/window_cache/hits/{source}/{bits}"), stats.hits as f64);
+        json.record(
+            &format!("forward_image/window_cache/misses/{source}/{bits}"),
+            stats.misses as f64,
+        );
+        json.record(
+            &format!("forward_image/window_cache/evictions/{source}/{bits}"),
+            stats.evictions as f64,
+        );
+        println!(
+            "forward_image: {bits}-bit cold window-cache hit rate over {} {source} images: {:.1}%",
+            images.len(),
+            stats.hit_rate() * 100.0
+        );
+
+        let id = BenchmarkId::new(format!("dataset_{source}/window_cache_off"), bits);
+        group.bench_with_input(id, &plain, |b, e| {
+            b.iter(|| {
+                for image in &images {
+                    black_box(e.forward_image(black_box(image)).expect("forward"));
+                }
+            });
+            json.record(
+                &format!("forward_image/dataset_{source}/window_cache_off/{bits}"),
+                b.last_ns_per_iter / images.len() as f64,
+            );
+        });
+        let id = BenchmarkId::new(format!("dataset_{source}/window_cache_on"), bits);
+        group.bench_with_input(id, &cached, |b, e| {
+            b.iter(|| {
+                for image in &images {
+                    black_box(e.forward_image(black_box(image)).expect("forward"));
+                }
+            });
+            json.record(
+                &format!("forward_image/dataset_{source}/window_cache_on/{bits}"),
+                b.last_ns_per_iter / images.len() as f64,
+            );
+        });
+    }
+    group.finish();
+    for bits in PRECISIONS {
+        let off = json.get(&format!("forward_image/dataset_{source}/window_cache_off/{bits}"));
+        let on = json.get(&format!("forward_image/dataset_{source}/window_cache_on/{bits}"));
+        if let (Some(off), Some(on)) = (off, on) {
+            let speedup = off / on;
+            json.record(&format!("forward_image/speedup_window_cache_x/{source}/{bits}"), speedup);
+            println!(
+                "forward_image: {bits}-bit window-cache speedup {speedup:.2}x over uncached \
+                 ({source} dataset, warm cache)"
+            );
+        }
+    }
 
     for bits in PRECISIONS {
         let lut = json.get(&format!("forward_image/tff_lut/{bits}"));

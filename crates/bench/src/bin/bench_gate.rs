@@ -12,8 +12,10 @@
 //! trajectory becomes a gate only once a baseline exists. A missing or
 //! empty *current* record is a hard failure — it means the recording path
 //! is broken, and silently passing would disable the gate forever.
-//! Derived ratio entries (speedups) and benchmarks present in only one
-//! record are skipped — see [`scnn_bench::report::regressions`].
+//! Derived ratio entries (speedups, cache hit rates), raw cache counters
+//! (hits/misses/evictions) and benchmarks present in only one record are
+//! skipped — see [`scnn_bench::report::regressions`] and
+//! [`scnn_bench::report::NON_TIMING_MARKERS`].
 
 use scnn_bench::report::{regressions, BenchJson};
 use std::path::Path;

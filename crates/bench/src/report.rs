@@ -7,7 +7,9 @@ use std::time::Instant;
 
 /// A flat, machine-readable record of benchmark measurements, written as a
 /// single JSON object mapping benchmark names to numbers (nanoseconds for
-/// timings; plain ratios for derived entries like speedups).
+/// timings; plain ratios for derived entries like speedups and hit rates;
+/// raw event counts for cache counters — see [`NON_TIMING_MARKERS`] for
+/// how the perf gate tells them apart).
 ///
 /// Every bench bin loads the existing file, overwrites its own entries, and
 /// rewrites the whole file, so one CI run accumulates all harness timings
@@ -152,10 +154,20 @@ pub fn record_run_ns(name: &str, ns: f64) {
 /// Runs a whole harness under a stopwatch and records its wall-clock time
 /// as `bin/<name>` in `BENCH.json` — the one-line `main` wrapper every
 /// table/ablation binary uses.
+///
+/// When `SCNN_WINDOW_CACHE` selects an active window-memoization mode
+/// (see [`scnn_core::counts::WINDOW_CACHE_ENV`]), the timing is recorded
+/// as `bin/<name>+window_cache` instead, so cache-on reruns never
+/// overwrite the cache-off baseline the perf gate diffs against.
 pub fn timed_run(name: &str, run: impl FnOnce()) {
     let stopwatch = Stopwatch::start();
     run();
-    record_run_ns(&format!("bin/{name}"), stopwatch.elapsed_ns());
+    let cache_on = std::env::var(scnn_core::counts::WINDOW_CACHE_ENV)
+        .ok()
+        .and_then(|v| scnn_core::WindowCacheMode::from_env_value(&v).ok())
+        .is_some_and(|mode| mode.is_on());
+    let key = if cache_on { format!("bin/{name}+window_cache") } else { format!("bin/{name}") };
+    record_run_ns(&key, stopwatch.elapsed_ns());
 }
 
 /// One perf-gate violation: a recorded timing that grew by more than the
@@ -177,14 +189,27 @@ impl Regression {
     }
 }
 
+/// Name markers of `BENCH.json` entries that are *not* timings: derived
+/// ratios where higher is better (`speedup`, `hit_rate`) and raw event
+/// counters (`hits`, `misses`, `evictions`). The perf gate skips any
+/// entry whose name contains one of these — growing a hit counter or a
+/// speedup is progress, not a regression.
+pub const NON_TIMING_MARKERS: [&str; 5] = ["speedup", "hit_rate", "hits", "misses", "evictions"];
+
+/// Whether a recorded name denotes a non-timing entry (ratio or counter)
+/// that the perf gate must skip.
+fn is_non_timing(name: &str) -> bool {
+    NON_TIMING_MARKERS.iter().any(|marker| name.contains(marker))
+}
+
 /// Compares two timing records and returns every entry whose current value
 /// exceeds `factor ×` its baseline — the CI perf gate's core.
 ///
-/// Only timings are gated: derived ratio entries (names containing
-/// `"speedup"`, where *higher* is better) and entries missing from either
-/// record are skipped, so adding or removing benchmarks never fails the
-/// gate. Non-positive baselines are skipped too (a zero timing carries no
-/// signal).
+/// Only timings are gated: ratio and counter entries (names containing a
+/// [`NON_TIMING_MARKERS`] marker, where growth is neutral or *good*) and
+/// entries missing from either record are skipped, so adding or removing
+/// benchmarks never fails the gate. Non-positive baselines are skipped
+/// too (a zero timing carries no signal).
 ///
 /// # Example
 ///
@@ -194,18 +219,20 @@ impl Regression {
 /// let mut baseline = BenchJson::new();
 /// baseline.record("bin/table1", 1e9);
 /// baseline.record("forward_image/speedup_tff_lut_x/8", 12.0);
+/// baseline.record("forward_image/window_cache/hit_rate/synthetic/8", 0.3);
 /// let mut current = BenchJson::new();
 /// current.record("bin/table1", 2.5e9);
 /// current.record("forward_image/speedup_tff_lut_x/8", 30.0);
+/// current.record("forward_image/window_cache/hit_rate/synthetic/8", 0.9);
 /// let found = regressions(&baseline, &current, 2.0);
-/// assert_eq!(found.len(), 1); // the speedup ratio is not a timing
+/// assert_eq!(found.len(), 1); // ratios and hit rates are not timings
 /// assert_eq!(found[0].name, "bin/table1");
 /// assert!((found[0].ratio() - 2.5).abs() < 1e-9);
 /// ```
 pub fn regressions(baseline: &BenchJson, current: &BenchJson, factor: f64) -> Vec<Regression> {
     let mut out = Vec::new();
     for (name, base_value) in &baseline.entries {
-        if name.contains("speedup") || *base_value <= 0.0 {
+        if is_non_timing(name) || *base_value <= 0.0 {
             continue;
         }
         let Some(current_value) = current.get(name) else { continue };
@@ -357,12 +384,20 @@ mod tests {
         baseline.record("bin/b", 100.0);
         baseline.record("bin/gone", 100.0);
         baseline.record("x/speedup_y/8", 10.0);
+        baseline.record("x/window_cache/hit_rate/mnist/8", 0.4);
+        baseline.record("x/window_cache/hits/mnist/8", 100.0);
+        baseline.record("x/window_cache/misses/mnist/8", 25.0);
+        baseline.record("x/window_cache/evictions/mnist/8", 3.0);
         baseline.record("bin/zero", 0.0);
         let mut current = BenchJson::new();
         current.record("bin/a", 199.0); // < 2× — fine
         current.record("bin/b", 201.0); // > 2× — regression
         current.record("bin/new", 1e12); // no baseline — skipped
         current.record("x/speedup_y/8", 100.0); // ratio entry — skipped
+        current.record("x/window_cache/hit_rate/mnist/8", 0.95); // ratio — skipped
+        current.record("x/window_cache/hits/mnist/8", 9e5); // counter — skipped
+        current.record("x/window_cache/misses/mnist/8", 7e4); // counter — skipped
+        current.record("x/window_cache/evictions/mnist/8", 5e3); // counter — skipped
         current.record("bin/zero", 50.0); // zero baseline — skipped
         let found = regressions(&baseline, &current, 2.0);
         assert_eq!(found.len(), 1);

@@ -1,11 +1,47 @@
 //! Dataset and base-model preparation shared by the table harnesses.
 
+use scnn_core::counts::WINDOW_CACHE_ENV;
 use scnn_core::{
-    retrain, train_base, BaseModel, FirstLayer, HybridLenet, RetrainConfig, RetrainReport,
-    ScenarioSpec, TrainConfig,
+    retrain, train_base, AdderKind, BaseModel, FirstLayer, HeadKind, HybridLenet, RetrainConfig,
+    RetrainReport, ScenarioSpec, TrainConfig, WindowCacheMode,
 };
 use scnn_nn::data::{load_or_synthesize, DataSource, Dataset};
 use std::path::Path;
+
+/// The window-memoization mode requested through the `SCNN_WINDOW_CACHE`
+/// environment variable ([`WINDOW_CACHE_ENV`]), for harness binaries:
+/// `off`/`0`/unset disable it, `on`/`1` select the default budget, a
+/// positive integer sets the entry budget.
+///
+/// # Panics
+///
+/// Panics on an unparseable value — harnesses are top-level binaries and
+/// a typo'd override must fail loudly, not silently run uncached.
+pub fn window_cache_env_mode() -> WindowCacheMode {
+    match std::env::var(WINDOW_CACHE_ENV) {
+        Ok(value) => WindowCacheMode::from_env_value(&value)
+            .unwrap_or_else(|e| panic!("invalid {WINDOW_CACHE_ENV}: {e}")),
+        Err(_) => WindowCacheMode::Off,
+    }
+}
+
+/// Applies a window-memoization override to `spec` — but only where the
+/// count-domain path can honor it: a stochastic head with the TFF adder
+/// and no fault injection, whose spec does not already pin a mode.
+/// Everything else (float/binary baselines, MUX ablations, noisy sweeps)
+/// passes through untouched, so one environment variable can blanket a
+/// whole harness without tripping the unsupported-path validation.
+pub fn with_window_cache(spec: &ScenarioSpec, mode: WindowCacheMode) -> ScenarioSpec {
+    let supported = spec.head == HeadKind::Stochastic
+        && spec.adder == AdderKind::Tff
+        && spec.bit_error_rate == 0.0
+        && !spec.window_cache.is_on();
+    if mode.is_on() && supported {
+        spec.customize().window_cache(mode).build()
+    } else {
+        *spec
+    }
+}
 
 /// Harness effort level, selected with `--full` / `--smoke` on the command
 /// line or `SCNN_EFFORT={smoke,quick,full}` in the environment.
@@ -167,13 +203,17 @@ pub struct Workbench {
 
 impl Workbench {
     /// Compiles a [`ScenarioSpec`] into a first-layer engine over the
-    /// trained base convolution.
+    /// trained base convolution, honoring the `SCNN_WINDOW_CACHE`
+    /// environment override on every spec the count-domain path supports
+    /// (see [`with_window_cache`]).
     ///
     /// # Panics
     ///
     /// Panics on construction errors — harnesses are top-level binaries.
     pub fn first_layer(&self, spec: &ScenarioSpec) -> Box<dyn FirstLayer> {
-        spec.first_layer(self.base.conv1()).expect("scenario engine construction failed")
+        with_window_cache(spec, window_cache_env_mode())
+            .first_layer(self.base.conv1())
+            .expect("scenario engine construction failed")
     }
 
     /// Runs the §V-B retraining pipeline for one scenario: compile the
@@ -268,6 +308,32 @@ mod tests {
         assert_eq!(Effort::Smoke.trials(400), 50);
         assert_eq!(Effort::Smoke.trials(16), 8);
         assert_eq!(Effort::Full.trials(200), 400);
+    }
+
+    #[test]
+    fn window_cache_override_only_touches_supported_specs() {
+        let on = WindowCacheMode::on();
+        // The TFF stochastic spec picks the override up…
+        let tff = with_window_cache(&ScenarioSpec::this_work(6), on);
+        assert_eq!(tff.window_cache, on);
+        // …while baselines, MUX ablations and noisy sweeps pass through.
+        for spec in [
+            ScenarioSpec::float(),
+            ScenarioSpec::binary(6),
+            ScenarioSpec::old_sc(6),
+            ScenarioSpec::this_work(6).customize().bit_error_rate(0.01).build(),
+        ] {
+            assert_eq!(with_window_cache(&spec, on).window_cache, WindowCacheMode::Off);
+        }
+        // A spec that already pins a mode wins over the environment.
+        let pinned = ScenarioSpec::this_work(6)
+            .customize()
+            .window_cache(WindowCacheMode::Entries(7))
+            .build();
+        assert_eq!(with_window_cache(&pinned, on).window_cache, WindowCacheMode::Entries(7));
+        // Off never alters anything.
+        let untouched = with_window_cache(&ScenarioSpec::this_work(6), WindowCacheMode::Off);
+        assert_eq!(untouched.window_cache, WindowCacheMode::Off);
     }
 
     #[test]

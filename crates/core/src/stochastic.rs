@@ -2,7 +2,8 @@ use crate::arena::{and_count, mux_words, StreamArena};
 use crate::baseline::{ternary, window_taps, FirstLayer, KernelBank, IMAGE_SIDE};
 use crate::counts::{
     fold_tree_counts_wide, table_fits, AnyLevelCountTable, LaneWidth, LaneWord, LevelCountTable,
-    LevelStreamCache, ProductCache, ScratchPool,
+    LevelStreamCache, PooledTree, ProductCache, ScratchPool, WindowCache, WindowCacheMode,
+    WindowCacheStats,
 };
 use crate::Error;
 use rand::rngs::StdRng;
@@ -12,6 +13,7 @@ use scnn_nn::layers::Conv2d;
 use scnn_nn::quant::{pixel_level, weight_level};
 use scnn_rng::{Lfsr, NumberSource, Ramp, Sobol2, TrueRandom, VanDerCorput};
 use scnn_sim::S0Policy;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Which number source drives a comparator SNG bank in the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +93,11 @@ pub struct ScOptions {
     /// falls back to streaming otherwise; an explicit width turns that
     /// fallback into a construction error.
     pub lane_width: LaneWidth,
+    /// Window memoization ([`WindowCache`]): `Off` in every preset;
+    /// a budgeted mode memoizes per-window fold outputs and is a
+    /// construction error on configurations without the count-domain path
+    /// (MUX adder, fault injection, oversized table).
+    pub window_cache: WindowCacheMode,
 }
 
 impl ScOptions {
@@ -106,6 +113,7 @@ impl ScOptions {
             bit_error_rate: 0.0,
             seed: 42,
             lane_width: LaneWidth::Auto,
+            window_cache: WindowCacheMode::Off,
         }
     }
 
@@ -121,6 +129,7 @@ impl ScOptions {
             bit_error_rate: 0.0,
             seed: 42,
             lane_width: LaneWidth::Auto,
+            window_cache: WindowCacheMode::Off,
         }
     }
 }
@@ -179,8 +188,6 @@ pub struct StochasticConvLayer {
     n: usize,
     /// Padded tap count (next power of two ≥ ksize²) — the tree width.
     padded: usize,
-    /// Source values feeding every pixel comparator.
-    pixel_seq: Vec<u64>,
     /// Magnitude streams per (kernel, tap).
     weight_streams: StreamArena,
     /// Sign of each (kernel, tap) weight.
@@ -196,6 +203,18 @@ pub struct StochasticConvLayer {
     /// cache exceeds its budget. Built once at construction, shared by
     /// every image.
     mux_products: Option<ProductCache>,
+    /// Per-distinct-level comparator conversion cache for the streaming
+    /// paths, hoisted out of `pixel_streams` so repeated streaming
+    /// forwards reuse one conversion per level across images. Shared by
+    /// clones and worker threads (the stream is a pure function of the
+    /// level against the fixed `pixel_seq`).
+    level_streams: Arc<Mutex<LevelStreamCache>>,
+    /// Window memoization over the count-domain fold (`None` when
+    /// [`ScOptions::window_cache`] is `Off`). Shared by clones and worker
+    /// threads — the memoized values are pure functions of the window key
+    /// against this engine's table, so dataset evaluation and retraining
+    /// sweeps hit a warm cache from any thread.
+    window_cache: Option<Arc<WindowCache>>,
 }
 
 impl StochasticConvLayer {
@@ -305,18 +324,41 @@ impl StochasticConvLayer {
             None
         };
 
+        // Window memoization rides on the count table: the memoized value
+        // is the fold of table gathers, so without the table there is
+        // nothing sound to key on — requesting it there is a configuration
+        // error, mirroring the explicit lane-width contract above.
+        options.window_cache.validate()?;
+        let window_cache = match options.window_cache.entries() {
+            Some(entries) if lut.is_some() => {
+                Some(Arc::new(WindowCache::new(entries, 2 * ksq, 2 * bank.kernels)?))
+            }
+            Some(_) => {
+                return Err(Error::config(format!(
+                    "window_cache ({}) requires the count-domain path (TFF adder, zero \
+                     bit-error rate, table within budget, stream counts within the 16-bit \
+                     lane ceiling)",
+                    options.window_cache
+                )));
+            }
+            None => None,
+        };
+
+        let level_streams = Arc::new(Mutex::new(LevelStreamCache::new(&pixel_seq)?));
+
         Ok(Self {
             bank,
             precision,
             options,
             n,
             padded,
-            pixel_seq,
             weight_streams,
             weight_neg,
             select_streams,
             lut,
             mux_products,
+            level_streams,
+            window_cache,
         })
     }
 
@@ -378,11 +420,15 @@ impl StochasticConvLayer {
         // One comparator-SNG conversion per *distinct* level (≤ 2^b + 1)
         // instead of one per pixel: against the fixed shared `pixel_seq`
         // the stream is a pure function of the level, so equal-level pixels
-        // share bit patterns and the rest is a word copy.
-        let mut level_words = LevelStreamCache::new(&self.pixel_seq)?;
-        for (p, &v) in image.iter().enumerate() {
-            let level = pixel_level(v, bits) as usize;
-            arena.stream_mut(p).copy_from_slice(level_words.words(level));
+        // share bit patterns and the rest is a word copy. The cache is
+        // engine-owned, so repeated streaming forwards (and clones) reuse
+        // conversions across images instead of redoing them per call.
+        {
+            let mut level_words = self.level_streams.lock().unwrap_or_else(PoisonError::into_inner);
+            for (p, &v) in image.iter().enumerate() {
+                let level = pixel_level(v, bits) as usize;
+                arena.stream_mut(p).copy_from_slice(level_words.words(level));
+            }
         }
         if self.options.bit_error_rate > 0.0 {
             // Deterministic per image content.
@@ -426,6 +472,47 @@ impl StochasticConvLayer {
         self.lut.as_ref().map(AnyLevelCountTable::width)
     }
 
+    /// Whether window memoization is active
+    /// ([`ScOptions::window_cache`] non-`Off`; implies
+    /// [`uses_count_table`](Self::uses_count_table)).
+    pub fn uses_window_cache(&self) -> bool {
+        self.window_cache.is_some()
+    }
+
+    /// The engine's [`WindowCache`], when memoization is on. Clones share
+    /// the same cache (they share the identical count table), so a warm
+    /// cache serves every image, batch and retraining epoch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scnn_core::counts::WindowCacheMode;
+    /// use scnn_core::{FirstLayer, ScOptions, StochasticConvLayer};
+    /// use scnn_bitstream::Precision;
+    /// use scnn_nn::layers::{Conv2d, Padding};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let conv = Conv2d::new(1, 8, 5, Padding::Same, 42)?;
+    /// let opts = ScOptions { window_cache: WindowCacheMode::on(), ..ScOptions::this_work() };
+    /// let engine = StochasticConvLayer::from_conv(&conv, Precision::new(4)?, opts)?;
+    /// engine.forward_image(&vec![0.5f32; 784])?;
+    /// let stats = engine.window_cache().unwrap().stats();
+    /// // A uniform image folds one interior window and hits on the rest.
+    /// assert_eq!(stats.hits + stats.misses, 784);
+    /// assert!(stats.hits > 700);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn window_cache(&self) -> Option<&WindowCache> {
+        self.window_cache.as_deref()
+    }
+
+    /// Snapshot of the window-memoization counters, when memoization is
+    /// on (shorthand for [`window_cache`](Self::window_cache)`.stats()`).
+    pub fn window_cache_stats(&self) -> Option<WindowCacheStats> {
+        self.window_cache.as_deref().map(WindowCache::stats)
+    }
+
     /// The count-domain fast path: dispatches the configured lane width
     /// into the monomorphized fold.
     fn forward_image_lut(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
@@ -440,7 +527,10 @@ impl StochasticConvLayer {
     /// The count-domain fast path over one [`LaneWord`]: quantize each
     /// pixel once, gather per-tap AND counts for all kernels from the
     /// level-indexed table, and fold both trees in packed kernel lanes on
-    /// pooled scratch.
+    /// pooled scratch. With window memoization on, the fold runs only for
+    /// windows whose level pattern has not been seen — a hit copies the
+    /// memoized root counts, skipping the gathers, the fold and (on a
+    /// fully-hit image) the [`ScratchPool`] checkout entirely.
     fn forward_image_lut_typed<W: LaneWord>(
         &self,
         lut: &LevelCountTable<W>,
@@ -462,10 +552,44 @@ impl StochasticConvLayer {
         let mut out = vec![0.0f32; lanes * n_out];
         let ksq = self.bank.ksize * self.bank.ksize;
         let policy = self.options.s0_policy;
-        let mut pos = ScratchPool::checkout::<W>(ksq, lanes, policy, self.n)?;
-        let mut neg = ScratchPool::checkout::<W>(ksq, lanes, policy, self.n)?;
+        let cache = self.window_cache.as_deref();
+        // Window key: the ksize² pixel levels as little-endian u16 tags
+        // (level + 1; 0 marks an out-of-image tap). Count-path precisions
+        // are ≤ 14 bit, so level + 1 ≤ 16385 always fits.
+        let mut key = vec![0u8; 2 * ksq];
+        // Fold output per window: positive roots then negative, per kernel
+        // — exactly the WindowCache value layout.
+        let mut roots = vec![0u16; 2 * lanes];
+        let emit = |roots: &[u16], base: usize, out: &mut [f32]| {
+            for k in 0..lanes {
+                let diff = f32::from(roots[k]) - f32::from(roots[lanes + k]);
+                let v = diff * scale / n_f + self.bank.offsets[k];
+                out[k * n_out + base] = ternary(v, self.options.soft_threshold);
+            }
+        };
+        // Checked out lazily on the first miss, so a fully-hit image never
+        // touches the pool.
+        let mut trees: Option<(PooledTree<W>, PooledTree<W>)> = None;
         for oy in 0..IMAGE_SIDE {
             for ox in 0..IMAGE_SIDE {
+                let base = oy * IMAGE_SIDE + ox;
+                if let Some(cache) = cache {
+                    for (t, px) in window_taps(self.bank.ksize, oy, ox) {
+                        let tag = px.map_or(0u16, |p| levels[p] as u16 + 1);
+                        key[2 * t..2 * t + 2].copy_from_slice(&tag.to_le_bytes());
+                    }
+                    if cache.get_into(&key, &mut roots) {
+                        emit(&roots, base, &mut out);
+                        continue;
+                    }
+                }
+                if trees.is_none() {
+                    trees = Some((
+                        ScratchPool::checkout::<W>(ksq, lanes, policy, self.n)?,
+                        ScratchPool::checkout::<W>(ksq, lanes, policy, self.n)?,
+                    ));
+                }
+                let (pos, neg) = trees.as_mut().expect("just checked out");
                 // Every tap's lanes are rewritten per window, which is the
                 // LaneTree reuse contract.
                 for (t, px) in window_taps(self.bank.ksize, oy, ox) {
@@ -478,12 +602,14 @@ impl StochasticConvLayer {
                 }
                 pos.fold();
                 neg.fold();
-                let base = oy * IMAGE_SIDE + ox;
                 for k in 0..lanes {
-                    let diff = f32::from(pos.root_lane(k)) - f32::from(neg.root_lane(k));
-                    let v = diff * scale / n_f + self.bank.offsets[k];
-                    out[k * n_out + base] = ternary(v, self.options.soft_threshold);
+                    roots[k] = pos.root_lane(k);
+                    roots[lanes + k] = neg.root_lane(k);
                 }
+                if let Some(cache) = cache {
+                    cache.insert(&key, &roots);
+                }
+                emit(&roots, base, &mut out);
             }
         }
         Ok(out)
@@ -957,11 +1083,85 @@ mod tests {
         let img = test_image(21);
         let streams = engine.pixel_streams(&img).unwrap();
         let bits = engine.precision().bits();
+        let seq = engine.level_streams.lock().unwrap().seq().to_vec();
         let mut direct = StreamArena::new(img.len(), engine.stream_len()).unwrap();
         for (p, &v) in img.iter().enumerate() {
-            direct.write_from_levels(p, &engine.pixel_seq, pixel_level(v, bits));
+            direct.write_from_levels(p, &seq, pixel_level(v, bits));
         }
         assert_eq!(streams, direct);
+    }
+
+    #[test]
+    fn window_cache_forward_is_bit_exact_and_counts_lookups() {
+        for bits in [4u32, 6] {
+            let plain =
+                StochasticConvLayer::from_conv(&conv(), precision(bits), ScOptions::this_work())
+                    .unwrap();
+            let opts = ScOptions { window_cache: WindowCacheMode::on(), ..ScOptions::this_work() };
+            let cached = StochasticConvLayer::from_conv(&conv(), precision(bits), opts).unwrap();
+            assert!(cached.uses_window_cache());
+            assert!(!plain.uses_window_cache());
+            assert!(plain.window_cache_stats().is_none());
+            let img = test_image(u64::from(bits) * 3 + 1);
+            let expect = plain.forward_image(&img).unwrap();
+            assert_eq!(cached.forward_image(&img).unwrap(), expect, "bits={bits}");
+            let first = cached.window_cache_stats().unwrap();
+            assert_eq!(first.hits + first.misses, 784, "bits={bits}");
+            assert!(first.misses >= 1);
+            // The same image again hits on every window (budget is ample).
+            assert_eq!(cached.forward_image(&img).unwrap(), expect, "bits={bits}");
+            let second = cached.window_cache_stats().unwrap();
+            assert_eq!(second.misses, first.misses, "bits={bits}");
+            assert_eq!(second.hits, first.hits + 784, "bits={bits}");
+            assert_eq!(second.evictions, 0);
+        }
+    }
+
+    #[test]
+    fn window_cache_is_bit_exact_under_eviction_churn() {
+        // A budget far below the distinct-window count forces eviction in
+        // the middle of the image; outputs must not change.
+        let plain =
+            StochasticConvLayer::from_conv(&conv(), precision(6), ScOptions::this_work()).unwrap();
+        let opts =
+            ScOptions { window_cache: WindowCacheMode::Entries(3), ..ScOptions::this_work() };
+        let tiny = StochasticConvLayer::from_conv(&conv(), precision(6), opts).unwrap();
+        let img = test_image(31);
+        assert_eq!(tiny.forward_image(&img).unwrap(), plain.forward_image(&img).unwrap());
+        let stats = tiny.window_cache_stats().unwrap();
+        assert!(stats.evictions > 0, "expected churn, got {stats:?}");
+        assert!(tiny.window_cache().unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn window_cache_requires_the_count_path() {
+        let mux = ScOptions { window_cache: WindowCacheMode::on(), ..ScOptions::old_sc() };
+        let err = StochasticConvLayer::from_conv(&conv(), precision(4), mux).unwrap_err();
+        assert!(err.to_string().contains("count-domain"), "{err}");
+        let noisy = ScOptions {
+            window_cache: WindowCacheMode::on(),
+            bit_error_rate: 0.01,
+            ..ScOptions::this_work()
+        };
+        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), noisy).is_err());
+        let zero =
+            ScOptions { window_cache: WindowCacheMode::Entries(0), ..ScOptions::this_work() };
+        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), zero).is_err());
+    }
+
+    #[test]
+    fn clones_share_one_window_cache() {
+        let opts = ScOptions { window_cache: WindowCacheMode::on(), ..ScOptions::this_work() };
+        let engine = StochasticConvLayer::from_conv(&conv(), precision(4), opts).unwrap();
+        let clone = engine.clone();
+        let img = test_image(7);
+        engine.forward_image(&img).unwrap();
+        let warm = engine.window_cache_stats().unwrap();
+        // The clone sees the warm cache: same image, all hits.
+        clone.forward_image(&img).unwrap();
+        let after = clone.window_cache_stats().unwrap();
+        assert_eq!(after.misses, warm.misses);
+        assert_eq!(after.hits, warm.hits + 784);
     }
 
     #[test]

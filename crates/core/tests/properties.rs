@@ -6,7 +6,7 @@ use scnn_core::counts::LaneTree;
 use scnn_core::{
     and_count, BinaryConvLayer, DenseInput, FirstLayer, FloatConvLayer, HybridLenet, LaneWidth,
     LaneWord, ScOptions, ScenarioSpec, SourceKind, StochasticConvLayer, StochasticDenseLayer,
-    StreamArena,
+    StreamArena, WindowCacheMode,
 };
 use scnn_nn::data::BatchSource;
 use scnn_nn::layers::{Conv2d, Dense, Padding};
@@ -449,6 +449,56 @@ proptest! {
                 build(width).forward(&input).unwrap().iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(&reference, &got, "bits={} width={}", bits, width);
         }
+    }
+
+    /// Window memoization is bit-exact with the uncached fold for every
+    /// precision, lane width, and entry budget — including budgets tiny
+    /// enough to evict on nearly every insert. Three images flow through
+    /// one cached engine so hits from earlier images influence later ones,
+    /// and the cached output is also checked against the streaming
+    /// reference (the tentpole invariant of window memoization).
+    #[test]
+    fn window_cache_forward_is_bit_exact(
+        seed in 0u64..2_000,
+        bits in prop_oneof![Just(4u32), Just(6), Just(8)],
+        width in prop_oneof![
+            Just(LaneWidth::Auto),
+            Just(LaneWidth::U16),
+            Just(LaneWidth::U32),
+            Just(LaneWidth::U64),
+            Just(LaneWidth::U128)
+        ],
+        budget in prop_oneof![Just(1usize), Just(7), Just(64), Just(4096)],
+    ) {
+        let conv = small_conv(seed % 31 + 1);
+        let precision = Precision::new(bits).unwrap();
+        let opts = |cache| ScOptions { lane_width: width, window_cache: cache, seed, ..ScOptions::this_work() };
+        let plain =
+            StochasticConvLayer::from_conv(&conv, precision, opts(WindowCacheMode::Off)).unwrap();
+        let cached = StochasticConvLayer::from_conv(
+            &conv,
+            precision,
+            opts(WindowCacheMode::Entries(budget)),
+        )
+        .unwrap();
+        prop_assert!(cached.uses_window_cache());
+        for i in 0..3u64 {
+            let image = image_from_seed(seed ^ (0xACE0 + i));
+            let expected = plain.forward_image(&image).unwrap();
+            let got = cached.forward_image(&image).unwrap();
+            prop_assert_eq!(&expected, &got, "image {} budget {}", i, budget);
+            if i == 0 {
+                prop_assert_eq!(
+                    &expected,
+                    &cached.forward_image_streaming(&image).unwrap(),
+                    "streaming reference"
+                );
+            }
+        }
+        let stats = cached.window_cache_stats().unwrap();
+        prop_assert_eq!(stats.hits + stats.misses, 3 * 784);
+        let cache = cached.window_cache().unwrap();
+        prop_assert!(cache.len() <= budget, "len {} > budget {}", cache.len(), budget);
     }
 
     /// All S0 policies and source pairings produce valid engines.
