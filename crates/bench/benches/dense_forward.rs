@@ -8,13 +8,18 @@
 //! acceptance bar for the dense count-domain port is a ≥ 5× speedup at
 //! 8-bit precision.
 //!
+//! An observability section re-runs the count-domain forward with
+//! metrics recording forced on and writes the dense stage-latency
+//! percentiles under `obs/stage/dense/.../{bits}`, plus the measured
+//! on-vs-off overhead ratio (`dense_forward/metrics_on_overhead_x`).
+//!
 //! ```text
 //! cargo bench -p scnn-bench --bench dense_forward            # measured
 //! SCNN_BENCH_QUICK=1 cargo bench -p scnn-bench --bench dense_forward
 //! ```
 
 use criterion::{BenchmarkId, Criterion};
-use scnn_bench::report::BenchJson;
+use scnn_bench::report::{key, BenchJson};
 use scnn_core::{LaneWidth, ScenarioSpec};
 use scnn_nn::layers::Dense;
 use std::hint::black_box;
@@ -24,6 +29,7 @@ const PRECISIONS: [u32; 3] = [4, 6, 8];
 const WIDTHS: [LaneWidth; 4] = [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64, LaneWidth::U128];
 
 fn main() {
+    scnn_bench::setup::obs_env_init();
     // The ablation_fully_stochastic layer-1 shape: 784 pixels → 48 neurons.
     let dense = Dense::new(784, 48, 11);
     let input: Vec<f32> = (0..784).map(|i| (i % 251) as f32 / 250.0).collect();
@@ -38,11 +44,14 @@ fn main() {
         assert!(layer.uses_count_table(), "dense engine at {bits}-bit must build the count table");
         group.bench_with_input(BenchmarkId::new("unipolar_lut", bits), &layer, |b, l| {
             b.iter(|| l.forward(black_box(&input)).expect("forward"));
-            json.record(&format!("dense_forward/unipolar_lut/{bits}"), b.last_ns_per_iter);
+            json.record(&key::per_bits("dense_forward", "unipolar_lut", bits), b.last_ns_per_iter);
         });
         group.bench_with_input(BenchmarkId::new("unipolar_streaming", bits), &layer, |b, l| {
             b.iter(|| l.forward_streaming(black_box(&input)).expect("forward"));
-            json.record(&format!("dense_forward/unipolar_streaming/{bits}"), b.last_ns_per_iter);
+            json.record(
+                &key::per_bits("dense_forward", "unipolar_streaming", bits),
+                b.last_ns_per_iter,
+            );
         });
         // The lane-width sweep: one count-domain engine per LaneWord, so
         // bench_gate tracks each width separately.
@@ -56,30 +65,71 @@ fn main() {
             let id = BenchmarkId::new(format!("lanes_{width}"), bits);
             group.bench_with_input(id, &layer, |b, l| {
                 b.iter(|| l.forward(black_box(&input)).expect("forward"));
-                json.record(&format!("dense_forward/lanes_{width}/{bits}"), b.last_ns_per_iter);
+                json.record(&key::lanes("dense_forward", width, bits), b.last_ns_per_iter);
             });
         }
     }
     group.finish();
 
     for bits in PRECISIONS {
-        let lut = json.get(&format!("dense_forward/unipolar_lut/{bits}"));
-        let streaming = json.get(&format!("dense_forward/unipolar_streaming/{bits}"));
+        let lut = json.get(&key::per_bits("dense_forward", "unipolar_lut", bits));
+        let streaming = json.get(&key::per_bits("dense_forward", "unipolar_streaming", bits));
         if let (Some(lut), Some(streaming)) = (lut, streaming) {
             let speedup = streaming / lut;
-            json.record(&format!("dense_forward/speedup_lut_x/{bits}"), speedup);
+            json.record(&key::per_bits("dense_forward", "speedup_lut_x", bits), speedup);
             println!("dense_forward: {bits}-bit count-table speedup {speedup:.1}x over streaming");
         }
         // Wide-lane speedup vs the retained u16 baseline (the default path
         // is u64 lanes, so this is the measured win of the redesign).
-        let u16_ns = json.get(&format!("dense_forward/lanes_u16/{bits}"));
-        let u64_ns = json.get(&format!("dense_forward/lanes_u64/{bits}"));
+        let u16_ns = json.get(&key::lanes("dense_forward", "u16", bits));
+        let u64_ns = json.get(&key::lanes("dense_forward", "u64", bits));
         if let (Some(u16_ns), Some(u64_ns)) = (u16_ns, u64_ns) {
             let speedup = u16_ns / u64_ns;
-            json.record(&format!("dense_forward/speedup_lanes_u64_x/{bits}"), speedup);
+            json.record(&key::per_bits("dense_forward", "speedup_lanes_u64_x", bits), speedup);
             println!("dense_forward: {bits}-bit u64-lane speedup {speedup:.1}x over u16 lanes");
         }
     }
+    // --- Observability: dense stage percentiles + metrics overhead ---
+    // Re-run the count-domain forward with recording forced on to land
+    // the dense stage-latency percentiles under obs/, and compare against
+    // the same loop with recording forced off.
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick")
+        || std::env::var_os("SCNN_BENCH_QUICK").is_some_and(|v| v != "0");
+    let iters = if quick { 3 } else { 50 };
+    let (was_metrics, was_trace) = (scnn_obs::metrics_enabled(), scnn_obs::trace_enabled());
+    for bits in PRECISIONS {
+        let layer = ScenarioSpec::this_work(bits).dense_layer(&dense).expect("engine");
+        let time_rows = |n: usize| {
+            let start = std::time::Instant::now();
+            for _ in 0..n {
+                black_box(layer.forward(black_box(&input)).expect("forward"));
+            }
+            start.elapsed().as_nanos() as f64 / n as f64
+        };
+        scnn_obs::force(false, false);
+        // Untimed warmup so the off-loop doesn't absorb cold-start costs
+        // (page faults, frequency ramp) that would skew the ratio.
+        let _ = time_rows(iters.min(5));
+        let off_ns = time_rows(iters);
+        scnn_obs::force(true, was_trace);
+        scnn_obs::registry().reset();
+        let on_ns = time_rows(iters);
+        scnn_obs::flush_thread_spans();
+        for (metric, value) in scnn_obs::registry().snapshot() {
+            if metric.starts_with("stage/") {
+                json.record(&key::obs_bits(&metric, bits), value);
+            }
+        }
+        if off_ns > 0.0 {
+            let overhead = on_ns / off_ns;
+            json.record(&key::per_bits("dense_forward", "metrics_on_overhead_x", bits), overhead);
+            println!(
+                "dense_forward: {bits}-bit metrics-on overhead {overhead:.3}x over forced-off"
+            );
+        }
+    }
+    scnn_obs::force(was_metrics, was_trace);
+
     json.write(&path).expect("write BENCH.json");
     println!("timings recorded in {}", path.display());
 }

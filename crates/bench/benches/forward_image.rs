@@ -17,31 +17,55 @@
 //! measurement iterations, exactly as it does across a dataset
 //! evaluation); the hit-rate key is measured on one cold pass.
 //!
+//! An observability section measures the metrics layer itself: the
+//! metrics-off run is compared against the baseline the loaded
+//! `BENCH.json` carried in (`forward_image/metrics_off_overhead_x` — the
+//! disabled toggles must cost nothing), the same loop is re-timed with
+//! recording forced on (`metrics_on_overhead_x`), and per-precision
+//! stage-latency percentiles land under `obs/stage/.../{bits}`.
+//!
 //! ```text
 //! cargo bench -p scnn-bench --bench forward_image            # measured
 //! SCNN_BENCH_QUICK=1 cargo bench -p scnn-bench --bench forward_image
 //! ```
 
 use criterion::{BenchmarkId, Criterion};
-use scnn_bench::report::BenchJson;
+use scnn_bench::report::{key, BenchJson};
 use scnn_bitstream::Precision;
 use scnn_core::{FirstLayer, LaneWidth, ScOptions, StochasticConvLayer, WindowCacheMode};
 use scnn_nn::data::{load_or_synthesize, synthetic};
 use scnn_nn::layers::{Conv2d, Padding};
 use std::hint::black_box;
 use std::path::Path;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const DATASET_IMAGES: usize = 64;
 
 const PRECISIONS: [u32; 3] = [4, 6, 8];
 const WIDTHS: [LaneWidth; 4] = [LaneWidth::U16, LaneWidth::U32, LaneWidth::U64, LaneWidth::U128];
 
+/// Mean per-image nanoseconds over `iters` forward passes.
+fn time_forwards(engine: &StochasticConvLayer, image: &[f32], iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(engine.forward_image(black_box(image)).expect("forward"));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
 fn main() {
+    scnn_bench::setup::obs_env_init();
     let conv = Conv2d::new(1, 32, 5, Padding::Same, 42).expect("conv");
     let image = synthetic::single(7, 1);
     let path = BenchJson::default_path();
     let mut json = BenchJson::load(&path);
+    // The metrics-off overhead ratio compares this run against whatever
+    // baseline the loaded record carries, so the prior values must be
+    // captured before the timing loops overwrite them.
+    let prior_lut: Vec<(u32, Option<f64>)> = PRECISIONS
+        .iter()
+        .map(|&bits| (bits, json.get(&key::per_bits("forward_image", "tff_lut", bits))))
+        .collect();
 
     let mut criterion = Criterion::default();
     let mut group = criterion.benchmark_group("forward_image");
@@ -53,11 +77,11 @@ fn main() {
         assert!(engine.uses_count_table(), "TFF engine at {bits}-bit must build the count table");
         group.bench_with_input(BenchmarkId::new("tff_lut", bits), &engine, |b, e| {
             b.iter(|| e.forward_image(black_box(&image)).expect("forward"));
-            json.record(&format!("forward_image/tff_lut/{bits}"), b.last_ns_per_iter);
+            json.record(&key::per_bits("forward_image", "tff_lut", bits), b.last_ns_per_iter);
         });
         group.bench_with_input(BenchmarkId::new("tff_streaming", bits), &engine, |b, e| {
             b.iter(|| e.forward_image_streaming(black_box(&image)).expect("forward"));
-            json.record(&format!("forward_image/tff_streaming/{bits}"), b.last_ns_per_iter);
+            json.record(&key::per_bits("forward_image", "tff_streaming", bits), b.last_ns_per_iter);
         });
         // The lane-width sweep: one count-domain engine per LaneWord, so
         // bench_gate tracks each width separately.
@@ -67,7 +91,7 @@ fn main() {
             let id = BenchmarkId::new(format!("lanes_{width}"), bits);
             group.bench_with_input(id, &engine, |b, e| {
                 b.iter(|| e.forward_image(black_box(&image)).expect("forward"));
-                json.record(&format!("forward_image/lanes_{width}/{bits}"), b.last_ns_per_iter);
+                json.record(&key::lanes("forward_image", width, bits), b.last_ns_per_iter);
             });
         }
     }
@@ -96,16 +120,19 @@ fn main() {
         }
         let stats = cached.window_cache_stats().expect("cache stats");
         json.record(
-            &format!("forward_image/window_cache/hit_rate/{source}/{bits}"),
+            &key::per_bits("forward_image", &format!("window_cache/hit_rate/{source}"), bits),
             stats.hit_rate(),
         );
-        json.record(&format!("forward_image/window_cache/hits/{source}/{bits}"), stats.hits as f64);
         json.record(
-            &format!("forward_image/window_cache/misses/{source}/{bits}"),
+            &key::per_bits("forward_image", &format!("window_cache/hits/{source}"), bits),
+            stats.hits as f64,
+        );
+        json.record(
+            &key::per_bits("forward_image", &format!("window_cache/misses/{source}"), bits),
             stats.misses as f64,
         );
         json.record(
-            &format!("forward_image/window_cache/evictions/{source}/{bits}"),
+            &key::per_bits("forward_image", &format!("window_cache/evictions/{source}"), bits),
             stats.evictions as f64,
         );
         println!(
@@ -122,7 +149,11 @@ fn main() {
                 }
             });
             json.record(
-                &format!("forward_image/dataset_{source}/window_cache_off/{bits}"),
+                &key::per_bits(
+                    "forward_image",
+                    &format!("dataset_{source}/window_cache_off"),
+                    bits,
+                ),
                 b.last_ns_per_iter / images.len() as f64,
             );
         });
@@ -134,18 +165,29 @@ fn main() {
                 }
             });
             json.record(
-                &format!("forward_image/dataset_{source}/window_cache_on/{bits}"),
+                &key::per_bits("forward_image", &format!("dataset_{source}/window_cache_on"), bits),
                 b.last_ns_per_iter / images.len() as f64,
             );
         });
     }
     group.finish();
     for bits in PRECISIONS {
-        let off = json.get(&format!("forward_image/dataset_{source}/window_cache_off/{bits}"));
-        let on = json.get(&format!("forward_image/dataset_{source}/window_cache_on/{bits}"));
+        let off = json.get(&key::per_bits(
+            "forward_image",
+            &format!("dataset_{source}/window_cache_off"),
+            bits,
+        ));
+        let on = json.get(&key::per_bits(
+            "forward_image",
+            &format!("dataset_{source}/window_cache_on"),
+            bits,
+        ));
         if let (Some(off), Some(on)) = (off, on) {
             let speedup = off / on;
-            json.record(&format!("forward_image/speedup_window_cache_x/{source}/{bits}"), speedup);
+            json.record(
+                &key::per_bits("forward_image", &format!("speedup_window_cache_x/{source}"), bits),
+                speedup,
+            );
             println!(
                 "forward_image: {bits}-bit window-cache speedup {speedup:.2}x over uncached \
                  ({source} dataset, warm cache)"
@@ -154,25 +196,85 @@ fn main() {
     }
 
     for bits in PRECISIONS {
-        let lut = json.get(&format!("forward_image/tff_lut/{bits}"));
-        let streaming = json.get(&format!("forward_image/tff_streaming/{bits}"));
+        let lut = json.get(&key::per_bits("forward_image", "tff_lut", bits));
+        let streaming = json.get(&key::per_bits("forward_image", "tff_streaming", bits));
         if let (Some(lut), Some(streaming)) = (lut, streaming) {
             let speedup = streaming / lut;
-            json.record(&format!("forward_image/speedup_tff_lut_x/{bits}"), speedup);
+            json.record(&key::per_bits("forward_image", "speedup_tff_lut_x", bits), speedup);
             println!(
                 "forward_image: {bits}-bit TFF count-table speedup {speedup:.1}x over streaming"
             );
         }
         // Wide-lane speedup vs the retained u16 baseline (the default path
         // is u64 lanes, so this is the measured win of the redesign).
-        let u16_ns = json.get(&format!("forward_image/lanes_u16/{bits}"));
-        let u64_ns = json.get(&format!("forward_image/lanes_u64/{bits}"));
+        let u16_ns = json.get(&key::lanes("forward_image", "u16", bits));
+        let u64_ns = json.get(&key::lanes("forward_image", "u64", bits));
         if let (Some(u16_ns), Some(u64_ns)) = (u16_ns, u64_ns) {
             let speedup = u16_ns / u64_ns;
-            json.record(&format!("forward_image/speedup_lanes_u64_x/{bits}"), speedup);
+            json.record(&key::per_bits("forward_image", "speedup_lanes_u64_x", bits), speedup);
             println!("forward_image: {bits}-bit u64-lane speedup {speedup:.1}x over u16 lanes");
         }
     }
+    // --- Observability: metrics-layer overhead and stage percentiles ---
+    // The timing loops above ran with the toggles in their environment
+    // state (off unless the operator set SCNN_METRICS), so this run's
+    // tff_lut timings against the loaded record's prior values measure
+    // what the disabled instrumentation costs. Skipped when the loaded
+    // record had no prior entry to compare against.
+    let mut worst = f64::NEG_INFINITY;
+    for (bits, prior) in prior_lut {
+        let now = json.get(&key::per_bits("forward_image", "tff_lut", bits));
+        let (Some(prior), Some(now)) = (prior, now) else { continue };
+        if prior <= 0.0 {
+            continue;
+        }
+        let ratio = now / prior;
+        json.record(&key::per_bits("forward_image", "metrics_off_overhead_x", bits), ratio);
+        worst = worst.max(ratio);
+    }
+    if worst.is_finite() {
+        json.record("forward_image/metrics_off_overhead_x", worst);
+        println!(
+            "forward_image: metrics-off time vs prior recorded baseline: {worst:.3}x \
+             (worst precision)"
+        );
+    }
+
+    // Re-time the same per-image loop with recording forced on: the
+    // measured cost of full metrics collection, plus the per-precision
+    // stage-latency percentiles recorded under the obs/ namespace.
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick")
+        || std::env::var_os("SCNN_BENCH_QUICK").is_some_and(|v| v != "0");
+    let iters = if quick { 3 } else { 50 };
+    let (was_metrics, was_trace) = (scnn_obs::metrics_enabled(), scnn_obs::trace_enabled());
+    for bits in PRECISIONS {
+        let precision = Precision::new(bits).expect("valid");
+        let engine = StochasticConvLayer::from_conv(&conv, precision, ScOptions::this_work())
+            .expect("engine");
+        scnn_obs::force(false, false);
+        // Untimed warmup so the off-loop doesn't absorb cold-start costs
+        // (page faults, frequency ramp) that would skew the ratio.
+        let _ = time_forwards(&engine, &image, iters.min(5));
+        let off_ns = time_forwards(&engine, &image, iters);
+        scnn_obs::force(true, was_trace);
+        scnn_obs::registry().reset();
+        let on_ns = time_forwards(&engine, &image, iters);
+        scnn_obs::flush_thread_spans();
+        for (metric, value) in scnn_obs::registry().snapshot() {
+            if metric.starts_with("stage/") {
+                json.record(&key::obs_bits(&metric, bits), value);
+            }
+        }
+        if off_ns > 0.0 {
+            let overhead = on_ns / off_ns;
+            json.record(&key::per_bits("forward_image", "metrics_on_overhead_x", bits), overhead);
+            println!(
+                "forward_image: {bits}-bit metrics-on overhead {overhead:.3}x over forced-off"
+            );
+        }
+    }
+    scnn_obs::force(was_metrics, was_trace);
+
     json.write(&path).expect("write BENCH.json");
     println!("timings recorded in {}", path.display());
 }

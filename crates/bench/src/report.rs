@@ -5,6 +5,97 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+/// The one documented home of the `BENCH.json` key-naming conventions.
+///
+/// Every bin and bench builds its record names through these helpers, so
+/// the conventions — the `bin/<name>` prefix, the `+window_cache` rerun
+/// suffix, per-precision `/<bits>` suffixes, per-width `lanes_<width>`
+/// segments, and the `obs/` observability namespace — live in one place
+/// instead of being re-`format!`ed per harness.
+pub mod key {
+    /// `bin/<name>`, or `bin/<name>+window_cache` when `window_cache_on` —
+    /// cache-on reruns must never overwrite the cache-off baseline the perf
+    /// gate diffs against.
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(key::bin_for("table3_accuracy", false), "bin/table3_accuracy");
+    /// assert_eq!(key::bin_for("table3_accuracy", true), "bin/table3_accuracy+window_cache");
+    /// ```
+    pub fn bin_for(name: &str, window_cache_on: bool) -> String {
+        if window_cache_on {
+            format!("bin/{name}+window_cache")
+        } else {
+            format!("bin/{name}")
+        }
+    }
+
+    /// [`bin_for`] with the suffix decided by the live `SCNN_WINDOW_CACHE`
+    /// environment setting (an unparseable value counts as off — the
+    /// harness setup already failed fast on it).
+    pub fn bin(name: &str) -> String {
+        let cache_on = std::env::var(scnn_core::counts::WINDOW_CACHE_ENV)
+            .ok()
+            .and_then(|v| scnn_core::WindowCacheMode::from_env_value(&v).ok())
+            .is_some_and(|mode| mode.is_on());
+        bin_for(name, cache_on)
+    }
+
+    /// Per-precision measurement: `<group>/<metric>/<bits>`, e.g.
+    /// `forward_image/tff_lut/8`.
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(key::per_bits("forward_image", "tff_lut", 8), "forward_image/tff_lut/8");
+    /// ```
+    pub fn per_bits(group: &str, metric: &str, bits: u32) -> String {
+        format!("{group}/{metric}/{bits}")
+    }
+
+    /// Per-lane-width measurement: `<group>/lanes_<width>/<bits>`, e.g.
+    /// `dense_forward/lanes_u64/8` (`width` is anything that displays as
+    /// the lane name, such as `scnn_core::LaneWidth`).
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(key::lanes("dense_forward", "u64", 8), "dense_forward/lanes_u64/8");
+    /// ```
+    pub fn lanes(group: &str, width: impl std::fmt::Display, bits: u32) -> String {
+        format!("{group}/lanes_{width}/{bits}")
+    }
+
+    /// An observability export: `obs/<metric>`, where `<metric>` is a
+    /// [`scnn_obs::MetricsRegistry::snapshot`] key (so counters come out as
+    /// `obs/window_cache/hits` and stage latencies as
+    /// `obs/stage/conv/forward/p50`). The perf gate skips everything under
+    /// `obs/` except the `p50`/`p90`/`p99`/`max` stage-latency entries.
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(key::obs("stage/conv/forward/p50"), "obs/stage/conv/forward/p50");
+    /// ```
+    pub fn obs(metric: &str) -> String {
+        format!("obs/{metric}")
+    }
+
+    /// A per-precision observability export: `obs/<metric>/<bits>` — the
+    /// `forward_image`/`dense_forward` benches record stage percentiles per
+    /// precision this way.
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(key::obs_bits("stage/conv/fold/p99", 6), "obs/stage/conv/fold/p99/6");
+    /// ```
+    pub fn obs_bits(metric: &str, bits: u32) -> String {
+        format!("obs/{metric}/{bits}")
+    }
+}
+
 /// A flat, machine-readable record of benchmark measurements, written as a
 /// single JSON object mapping benchmark names to numbers (nanoseconds for
 /// timings; plain ratios for derived entries like speedups and hit rates;
@@ -151,23 +242,70 @@ pub fn record_run_ns(name: &str, ns: f64) {
     }
 }
 
+/// Environment variable naming a file the rendered metrics snapshot
+/// ([`scnn_obs::MetricsRegistry::render_text`]) is written to after a
+/// [`timed_run`] — how CI captures the bench-smoke metrics artifact.
+pub const METRICS_OUT_ENV: &str = "SCNN_METRICS_OUT";
+
 /// Runs a whole harness under a stopwatch and records its wall-clock time
-/// as `bin/<name>` in `BENCH.json` — the one-line `main` wrapper every
-/// table/ablation binary uses.
+/// as [`key::bin`]`(name)` in `BENCH.json` — the one-line `main` wrapper
+/// every table/ablation binary uses. (Cache-on reruns land under a
+/// `+window_cache` suffix so they never overwrite the cache-off baseline
+/// the perf gate diffs against; see [`key::bin_for`].)
 ///
-/// When `SCNN_WINDOW_CACHE` selects an active window-memoization mode
-/// (see [`scnn_core::counts::WINDOW_CACHE_ENV`]), the timing is recorded
-/// as `bin/<name>+window_cache` instead, so cache-on reruns never
-/// overwrite the cache-off baseline the perf gate diffs against.
+/// Observability hooks:
+///
+/// - the `SCNN_METRICS`/`SCNN_TRACE` toggles are validated up front (a
+///   typo fails the harness at startup, not mid-run);
+/// - a `--metrics` CLI argument forces metrics on for this run and dumps
+///   the Prometheus-style rendering to stdout at the end;
+/// - when metrics end up enabled, the registry snapshot is merged into
+///   `BENCH.json` under the [`key::obs`] namespace, and
+///   [`METRICS_OUT_ENV`] names an optional file for the rendered text.
+///
+/// # Panics
+///
+/// Panics on an unparseable `SCNN_METRICS`/`SCNN_TRACE` value (see
+/// [`crate::setup::obs_env_init`]).
 pub fn timed_run(name: &str, run: impl FnOnce()) {
+    crate::setup::obs_env_init();
+    let dump_stdout = std::env::args().any(|arg| arg == "--metrics");
+    if dump_stdout {
+        scnn_obs::force(true, scnn_obs::trace_enabled());
+    }
     let stopwatch = Stopwatch::start();
     run();
-    let cache_on = std::env::var(scnn_core::counts::WINDOW_CACHE_ENV)
-        .ok()
-        .and_then(|v| scnn_core::WindowCacheMode::from_env_value(&v).ok())
-        .is_some_and(|mode| mode.is_on());
-    let key = if cache_on { format!("bin/{name}+window_cache") } else { format!("bin/{name}") };
-    record_run_ns(&key, stopwatch.elapsed_ns());
+    record_run_ns(&key::bin(name), stopwatch.elapsed_ns());
+    export_metrics(dump_stdout);
+}
+
+/// Post-run metrics export behind [`timed_run`]: flushes this thread's
+/// spans, merges the registry snapshot into `BENCH.json` under `obs/`,
+/// honors [`METRICS_OUT_ENV`], and optionally prints the rendered text.
+/// A no-op when metrics are disabled.
+fn export_metrics(dump_stdout: bool) {
+    if !scnn_obs::metrics_enabled() {
+        return;
+    }
+    scnn_obs::flush_thread_spans();
+    let registry = scnn_obs::registry();
+    let path = BenchJson::default_path();
+    let mut json = BenchJson::load(&path);
+    for (metric, value) in registry.snapshot() {
+        json.record(&key::obs(&metric), value);
+    }
+    if let Err(e) = json.write(&path) {
+        eprintln!("[report] note: could not write {}: {e}", path.display());
+    }
+    if let Some(out) = std::env::var_os(METRICS_OUT_ENV).filter(|v| !v.is_empty()) {
+        let rendered = registry.render_text();
+        if let Err(e) = std::fs::write(&out, rendered) {
+            eprintln!("[report] note: could not write metrics snapshot to {out:?}: {e}");
+        }
+    }
+    if dump_stdout {
+        println!("{}", registry.render_text());
+    }
 }
 
 /// One perf-gate violation: a recorded timing that grew by more than the
@@ -190,15 +328,46 @@ impl Regression {
 }
 
 /// Name markers of `BENCH.json` entries that are *not* timings: derived
-/// ratios where higher is better (`speedup`, `hit_rate`) and raw event
-/// counters (`hits`, `misses`, `evictions`). The perf gate skips any
-/// entry whose name contains one of these — growing a hit counter or a
-/// speedup is progress, not a regression.
-pub const NON_TIMING_MARKERS: [&str; 5] = ["speedup", "hit_rate", "hits", "misses", "evictions"];
+/// ratios where higher is better (`speedup`, `hit_rate`), raw event
+/// counters (`hits`, `misses`, `evictions`), and overhead ratios
+/// (`overhead`, pinned near 1.0 by their own acceptance checks rather
+/// than the growth gate). The perf gate skips any entry whose name
+/// contains one of these — growing a hit counter or a speedup is
+/// progress, not a regression.
+pub const NON_TIMING_MARKERS: [&str; 6] =
+    ["speedup", "hit_rate", "hits", "misses", "evictions", "overhead"];
 
-/// Whether a recorded name denotes a non-timing entry (ratio or counter)
-/// that the perf gate must skip.
-fn is_non_timing(name: &str) -> bool {
+/// '/'-separated name segments that mark an `obs/` entry as a stage
+/// *latency* the perf gate does treat as a timing.
+const OBS_TIMING_SEGMENTS: [&str; 4] = ["p50", "p90", "p99", "max"];
+
+/// Whether a recorded name denotes a non-timing entry that the perf gate
+/// must skip.
+///
+/// Entries under the `obs/` namespace get their own rule: they are
+/// registry exports, mostly counters, gauges, and span call/total
+/// tallies that scale with workload, *except* the stage-latency
+/// percentiles — an `obs/` name is a timing if and only if one of its
+/// `/`-separated segments is `p50`/`p90`/`p99`/`max`. Everything else
+/// falls back to the [`NON_TIMING_MARKERS`] substring rule.
+///
+/// ```
+/// use scnn_bench::report::is_non_timing;
+///
+/// // obs counters/gauges/tallies: skipped.
+/// assert!(is_non_timing("obs/window_cache/hits"));
+/// assert!(is_non_timing("obs/stage/conv/forward/count"));
+/// // obs stage latencies: gated like timings.
+/// assert!(!is_non_timing("obs/stage/conv/forward/p50"));
+/// // overhead ratios: skipped.
+/// assert!(is_non_timing("forward_image/metrics_off_overhead_x"));
+/// // ordinary timings: gated.
+/// assert!(!is_non_timing("bin/table3_accuracy"));
+/// ```
+pub fn is_non_timing(name: &str) -> bool {
+    if name == "obs" || name.starts_with("obs/") {
+        return !name.split('/').any(|segment| OBS_TIMING_SEGMENTS.contains(&segment));
+    }
     NON_TIMING_MARKERS.iter().any(|marker| name.contains(marker))
 }
 
@@ -405,6 +574,58 @@ mod tests {
         assert_eq!(found[0].baseline, 100.0);
         assert_eq!(found[0].current, 201.0);
         assert!(regressions(&baseline, &current, 3.0).is_empty());
+    }
+
+    #[test]
+    fn key_helpers_build_the_documented_conventions() {
+        assert_eq!(key::bin_for("table1_mse", false), "bin/table1_mse");
+        assert_eq!(key::bin_for("table1_mse", true), "bin/table1_mse+window_cache");
+        assert_eq!(key::per_bits("forward_image", "tff_lut", 23), "forward_image/tff_lut/23");
+        assert_eq!(key::lanes("dense_forward", "u8", 4), "dense_forward/lanes_u8/4");
+        assert_eq!(key::obs("nn/images_evaluated"), "obs/nn/images_evaluated");
+        assert_eq!(key::obs_bits("stage/dense/fold/p50", 8), "obs/stage/dense/fold/p50/8");
+    }
+
+    #[test]
+    fn obs_counters_and_gauges_are_skipped_by_the_gate() {
+        // One assertion per non-timing class under obs/.
+        assert!(is_non_timing("obs/window_cache/hits")); // counter
+        assert!(is_non_timing("obs/parallel/threads")); // gauge
+        assert!(is_non_timing("obs/stage/conv/forward/count")); // span tally
+        assert!(is_non_timing("obs/stage/conv/forward/total_ns")); // span total
+        assert!(is_non_timing("obs/conv/images")); // item counter
+    }
+
+    #[test]
+    fn obs_stage_latencies_are_gated_like_timings() {
+        for q in ["p50", "p90", "p99", "max"] {
+            assert!(!is_non_timing(&format!("obs/stage/conv/forward/{q}")), "{q} must gate");
+            // Per-precision variants keep the quantile as its own segment.
+            assert!(!is_non_timing(&format!("obs/stage/dense/fold/{q}/8")), "{q}/8 must gate");
+        }
+        // The segment rule is exact: "p50" inside a longer segment is not a
+        // quantile, and non-obs names are unaffected by the segment rule.
+        assert!(is_non_timing("obs/stage/p50ish/count"));
+        assert!(!is_non_timing("bin/table3_accuracy"));
+    }
+
+    #[test]
+    fn overhead_ratios_are_skipped_by_the_gate() {
+        assert!(is_non_timing("forward_image/metrics_off_overhead_x"));
+        assert!(is_non_timing("forward_image/metrics_on_overhead_x/8"));
+    }
+
+    #[test]
+    fn regressions_skip_obs_counters_but_gate_obs_latencies() {
+        let mut baseline = BenchJson::new();
+        baseline.record("obs/window_cache/hits", 10.0);
+        baseline.record("obs/stage/conv/forward/p99", 100.0);
+        let mut current = BenchJson::new();
+        current.record("obs/window_cache/hits", 1e6); // counter growth: fine
+        current.record("obs/stage/conv/forward/p99", 500.0); // latency growth: gated
+        let found = regressions(&baseline, &current, 2.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "obs/stage/conv/forward/p99");
     }
 
     #[test]

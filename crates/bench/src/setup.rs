@@ -8,6 +8,35 @@ use scnn_core::{
 use scnn_nn::data::{load_or_synthesize, DataSource, Dataset};
 use std::path::Path;
 
+/// Pure parsing core behind [`window_cache_env_mode`]: `None` (variable
+/// unset) means off; any set value goes through
+/// [`WindowCacheMode::from_env_value`]. The error message always names
+/// the variable, echoes the offending value, and spells out the accepted
+/// grammar, so a typo'd override tells the operator exactly what to fix.
+///
+/// # Errors
+///
+/// Returns the harness-facing message for an unparseable value.
+///
+/// ```
+/// use scnn_bench::setup::parse_window_cache_env;
+///
+/// assert!(parse_window_cache_env(Some("on")).unwrap().is_on());
+/// let msg = parse_window_cache_env(Some("bananas")).unwrap_err();
+/// assert!(msg.contains("SCNN_WINDOW_CACHE"));
+/// assert!(msg.contains("\"bananas\""));
+/// assert!(msg.contains("off/0"));
+/// ```
+pub fn parse_window_cache_env(value: Option<&str>) -> Result<WindowCacheMode, String> {
+    let Some(value) = value else { return Ok(WindowCacheMode::Off) };
+    WindowCacheMode::from_env_value(value).map_err(|_| {
+        format!(
+            "invalid {WINDOW_CACHE_ENV}={value:?}: accepted values are off/0 (disable), \
+             on/1 (enable at the default budget), or a positive integer entry budget"
+        )
+    })
+}
+
 /// The window-memoization mode requested through the `SCNN_WINDOW_CACHE`
 /// environment variable ([`WINDOW_CACHE_ENV`]), for harness binaries:
 /// `off`/`0`/unset disable it, `on`/`1` select the default budget, a
@@ -16,12 +45,26 @@ use std::path::Path;
 /// # Panics
 ///
 /// Panics on an unparseable value — harnesses are top-level binaries and
-/// a typo'd override must fail loudly, not silently run uncached.
+/// a typo'd override must fail loudly, not silently run uncached. The
+/// message (from [`parse_window_cache_env`]) reports the offending value
+/// and the accepted grammar.
 pub fn window_cache_env_mode() -> WindowCacheMode {
-    match std::env::var(WINDOW_CACHE_ENV) {
-        Ok(value) => WindowCacheMode::from_env_value(&value)
-            .unwrap_or_else(|e| panic!("invalid {WINDOW_CACHE_ENV}: {e}")),
-        Err(_) => WindowCacheMode::Off,
+    let value = std::env::var(WINDOW_CACHE_ENV).ok();
+    parse_window_cache_env(value.as_deref()).unwrap_or_else(|msg| panic!("{msg}"))
+}
+
+/// Validates the `SCNN_METRICS`/`SCNN_TRACE` observability toggles once,
+/// up front, so a typo'd value fails the harness at startup with the
+/// parser's message (variable name, offending value, accepted grammar)
+/// instead of deep inside the first instrumented hot path.
+///
+/// # Panics
+///
+/// Panics with [`scnn_obs::init_from_env`]'s message on an unparseable
+/// toggle value.
+pub fn obs_env_init() {
+    if let Err(msg) = scnn_obs::init_from_env() {
+        panic!("{msg}");
     }
 }
 
@@ -334,6 +377,23 @@ mod tests {
         // Off never alters anything.
         let untouched = with_window_cache(&ScenarioSpec::this_work(6), WindowCacheMode::Off);
         assert_eq!(untouched.window_cache, WindowCacheMode::Off);
+    }
+
+    #[test]
+    fn window_cache_env_parse_reports_value_and_grammar() {
+        assert_eq!(parse_window_cache_env(None).unwrap(), WindowCacheMode::Off);
+        assert_eq!(parse_window_cache_env(Some("off")).unwrap(), WindowCacheMode::Off);
+        assert_eq!(parse_window_cache_env(Some("on")).unwrap(), WindowCacheMode::on());
+        assert_eq!(parse_window_cache_env(Some("128")).unwrap(), WindowCacheMode::Entries(128));
+        for bad in ["bananas", "-3", "1.5"] {
+            let msg = parse_window_cache_env(Some(bad)).unwrap_err();
+            assert!(msg.contains(WINDOW_CACHE_ENV), "message must name the variable: {msg}");
+            assert!(msg.contains(&format!("{bad:?}")), "message must echo the value: {msg}");
+            assert!(
+                msg.contains("off/0") && msg.contains("on/1") && msg.contains("entry budget"),
+                "message must spell out the grammar: {msg}"
+            );
+        }
     }
 
     #[test]

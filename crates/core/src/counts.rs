@@ -83,7 +83,6 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Upper bound on AND-count table entries (`(2^b + 1) · taps · lanes`);
@@ -863,6 +862,25 @@ impl ScratchPool {
             .try_with(|pool| W::pool_bucket(&mut pool.borrow_mut()).pop())
             .ok()
             .flatten();
+        if scnn_obs::metrics_enabled() {
+            // Handles are resolved once per process; a checkout that finds
+            // the thread pool empty pays a fresh tree allocation.
+            static HANDLES: std::sync::OnceLock<(
+                &'static scnn_obs::Counter,
+                &'static scnn_obs::Counter,
+            )> = std::sync::OnceLock::new();
+            let (checkouts, allocs) = HANDLES.get_or_init(|| {
+                let registry = scnn_obs::registry();
+                (
+                    registry.counter("scratch_pool/checkouts"),
+                    registry.counter("scratch_pool/allocs"),
+                )
+            });
+            checkouts.add(1);
+            if recycled.is_none() {
+                allocs.add(1);
+            }
+        }
         let tree = match recycled {
             Some(mut tree) => {
                 tree.reconfigure(taps, lanes, policy, max_leaf_count)?;
@@ -1392,9 +1410,34 @@ pub struct WindowCache {
     budget: usize,
     key_len: usize,
     value_len: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // Per-instance counters on the scnn_obs primitive (sharded, exact
+    // totals); `stats()` reads these.
+    hits: scnn_obs::Counter,
+    misses: scnn_obs::Counter,
+    evictions: scnn_obs::Counter,
+    // Process-global registry mirrors, resolved once at construction and
+    // bumped only when SCNN_METRICS is on — the cross-cache totals the
+    // `obs/window_cache/*` BENCH.json keys report.
+    global: GlobalWindowCounters,
+}
+
+/// Registry handles mirroring every [`WindowCache`]'s counters.
+#[derive(Debug, Clone, Copy)]
+struct GlobalWindowCounters {
+    hits: &'static scnn_obs::Counter,
+    misses: &'static scnn_obs::Counter,
+    evictions: &'static scnn_obs::Counter,
+}
+
+impl GlobalWindowCounters {
+    fn resolve() -> Self {
+        let registry = scnn_obs::registry();
+        Self {
+            hits: registry.counter("window_cache/hits"),
+            misses: registry.counter("window_cache/misses"),
+            evictions: registry.counter("window_cache/evictions"),
+        }
+    }
 }
 
 impl WindowCache {
@@ -1425,9 +1468,10 @@ impl WindowCache {
             budget: entries,
             key_len,
             value_len,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: scnn_obs::Counter::default(),
+            misses: scnn_obs::Counter::default(),
+            evictions: scnn_obs::Counter::default(),
+            global: GlobalWindowCounters::resolve(),
         })
     }
 
@@ -1480,9 +1524,16 @@ impl WindowCache {
         assert_eq!(out.len(), self.value_len, "window value length mismatch");
         let hit = self.lock(self.shard_for(key)).get_into(key, out);
         if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.add(1);
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.add(1);
+        }
+        if scnn_obs::metrics_enabled() {
+            if hit {
+                self.global.hits.add(1);
+            } else {
+                self.global.misses.add(1);
+            }
         }
         hit
     }
@@ -1497,25 +1548,36 @@ impl WindowCache {
         assert_eq!(key.len(), self.key_len, "window key length mismatch");
         assert_eq!(value.len(), self.value_len, "window value length mismatch");
         if self.lock(self.shard_for(key)).insert(key, value) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.add(1);
+            if scnn_obs::metrics_enabled() {
+                self.global.evictions.add(1);
+            }
         }
     }
 
     /// A snapshot of the hit/miss/eviction counters.
+    ///
+    /// The counters are [`scnn_obs::Counter`]s; when `SCNN_METRICS` is on
+    /// every lookup also bumps the process-global `window_cache/hits`,
+    /// `window_cache/misses` and `window_cache/evictions` registry counters,
+    /// so dataset hit rates surface in the `obs/` exports alongside the
+    /// per-stage histograms.
     pub fn stats(&self) -> WindowCacheStats {
         WindowCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
         }
     }
 
-    /// Zeroes the counters (entries stay memoized) — lets benches measure
-    /// per-dataset hit rates on a warm cache.
+    /// Zeroes the per-instance counters (entries stay memoized) — lets
+    /// benches measure per-dataset hit rates on a warm cache. The global
+    /// registry mirrors are left alone; reset those with
+    /// [`scnn_obs::MetricsRegistry::reset`].
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
     }
 }
 

@@ -161,6 +161,7 @@ impl StochasticDenseLayer {
             && table_fits(n, in_features, out_features)
             && lane_width.supports_counts_to(n);
         let lut = if count_path {
+            let _build = scnn_obs::span("dense/lut_build");
             Some(AnyLevelCountTable::build(
                 lane_width,
                 &input_seq,
@@ -284,6 +285,10 @@ impl StochasticDenseLayer {
         input: &[f32],
     ) -> Result<Vec<f32>, Error> {
         self.check_input(input)?;
+        let _forward = scnn_obs::span("dense/forward");
+        if scnn_obs::metrics_enabled() {
+            scnn_obs::registry().counter("dense/rows").add(1);
+        }
         let bits = self.precision.bits();
         let n = self.precision.stream_len() as f32;
         let max_leaf = self.precision.stream_len();
@@ -299,6 +304,7 @@ impl StochasticDenseLayer {
             DENSE_S0_POLICY,
             max_leaf,
         )?;
+        let _fold = scnn_obs::span("dense/fold");
         for (i, &v) in input.iter().enumerate() {
             let level = pixel_level(v, bits) as usize;
             lut.gather(level, i, pos.tap_lanes_mut(i), neg.tap_lanes_mut(i));
@@ -327,6 +333,10 @@ impl StochasticDenseLayer {
     /// the declared [`DenseInput`] domain.
     pub fn forward_streaming(&self, input: &[f32]) -> Result<Vec<f32>, Error> {
         self.check_input(input)?;
+        let _forward = scnn_obs::span("dense/forward_streaming");
+        if scnn_obs::metrics_enabled() {
+            scnn_obs::registry().counter("dense/rows").add(1);
+        }
         let n = self.precision.stream_len();
         let bits = self.precision.bits();
         // Input magnitude streams (unipolar mode only), deduplicated per

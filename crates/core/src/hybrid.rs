@@ -98,6 +98,7 @@ impl HybridLenet {
         // every worker thread stays busy; per-item features don't depend
         // on chunk boundaries, so the output is identical either way.
         const MAX_CHUNK: usize = 64;
+        let _pass = scnn_obs::span("core/extract_features");
         let chunk = source.len().div_ceil(crate::parallel::thread_count()).clamp(1, MAX_CHUNK);
         let features = self.features(source);
         let chunks: Vec<FeatureChunk> =

@@ -280,6 +280,7 @@ impl StochasticConvLayer {
             && table_fits(n, ksq, bank.kernels)
             && options.lane_width.supports_counts_to(n);
         let lut = if count_path {
+            let _build = scnn_obs::span("conv/lut_build");
             Some(AnyLevelCountTable::build(
                 options.lane_width,
                 &pixel_seq,
@@ -415,6 +416,7 @@ impl StochasticConvLayer {
                 image.len()
             )));
         }
+        let _convert = scnn_obs::span("conv/sng_convert");
         let bits = self.precision.bits();
         let mut arena = StreamArena::new(image.len(), self.n)?;
         // One comparator-SNG conversion per *distinct* level (≤ 2^b + 1)
@@ -543,6 +545,10 @@ impl StochasticConvLayer {
                 image.len()
             )));
         }
+        let _forward = scnn_obs::span("conv/forward");
+        if scnn_obs::metrics_enabled() {
+            scnn_obs::registry().counter("conv/images").add(1);
+        }
         let bits = self.precision.bits();
         let lanes = self.bank.kernels;
         let levels: Vec<usize> = image.iter().map(|&v| pixel_level(v, bits) as usize).collect();
@@ -570,6 +576,7 @@ impl StochasticConvLayer {
         // Checked out lazily on the first miss, so a fully-hit image never
         // touches the pool.
         let mut trees: Option<(PooledTree<W>, PooledTree<W>)> = None;
+        let _fold = scnn_obs::span("conv/fold");
         for oy in 0..IMAGE_SIDE {
             for ox in 0..IMAGE_SIDE {
                 let base = oy * IMAGE_SIDE + ox;
@@ -643,6 +650,10 @@ impl StochasticConvLayer {
                 IMAGE_SIDE * IMAGE_SIDE,
                 image.len()
             )));
+        }
+        let _forward = scnn_obs::span("conv/forward_streaming");
+        if scnn_obs::metrics_enabled() {
+            scnn_obs::registry().counter("conv/images").add(1);
         }
         let n_out = IMAGE_SIDE * IMAGE_SIDE;
         let ksq = self.bank.ksize * self.bank.ksize;

@@ -143,6 +143,10 @@ where
 
     fn batch_range(&self, range: Range<usize>) -> Result<(Tensor, Vec<u8>), Error> {
         check_range(&range, self.len)?;
+        let _decode = scnn_obs::span("data/chunk_decode");
+        if scnn_obs::metrics_enabled() {
+            scnn_obs::registry().counter("data/items_decoded").add(range.len() as u64);
+        }
         let (data, labels) = (self.loader)(range.clone())?;
         let item_len: usize = self.item_shape.iter().product();
         if data.len() != range.len() * item_len || labels.len() != range.len() {

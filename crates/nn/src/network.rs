@@ -239,6 +239,7 @@ impl Network {
         batch_size: usize,
     ) -> Result<Evaluation, Error> {
         assert!(batch_size > 0, "batch size must be positive");
+        let _pass = scnn_obs::span("nn/evaluate");
         let total = source.len();
         let batches: Vec<std::ops::Range<usize>> =
             (0..total).step_by(batch_size).map(|s| s..(s + batch_size).min(total)).collect();
@@ -269,6 +270,10 @@ impl Network {
         source: &S,
         chunk: std::ops::Range<usize>,
     ) -> Result<(usize, f64), Error> {
+        let _batch = scnn_obs::span("nn/evaluate_batch");
+        if scnn_obs::metrics_enabled() {
+            scnn_obs::registry().counter("nn/images_evaluated").add(chunk.len() as u64);
+        }
         let (x, labels) = source.batch_range(chunk)?;
         let logits = self.forward(&x, false)?;
         let (loss, _) = softmax_cross_entropy(&logits, &labels)?;

@@ -108,13 +108,25 @@ where
     if threads <= 1 {
         return f(0..n);
     }
+    // Worker utilization (SCNN_METRICS): the `parallel/worker` span records
+    // each worker's busy wall time, so utilization = sum(worker busy) /
+    // (threads × pass wall). Off-path cost is one relaxed load.
+    if scnn_obs::metrics_enabled() {
+        #[allow(clippy::cast_possible_wrap)]
+        scnn_obs::registry().gauge("parallel/threads").set(threads as i64);
+    }
     let chunk = n.div_ceil(threads);
     let starts: Vec<usize> = (0..threads).map(|t| t * chunk).take_while(|&s| s < n).collect();
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = starts
             .iter()
-            .map(|&start| scope.spawn(move || f(start..(start + chunk).min(n))))
+            .map(|&start| {
+                scope.spawn(move || {
+                    let _busy = scnn_obs::span("parallel/worker");
+                    f(start..(start + chunk).min(n))
+                })
+            })
             .collect();
         let mut out = Vec::with_capacity(n);
         for handle in handles {

@@ -13,7 +13,9 @@
 //!   adders, and the paper's TFF adder),
 //! * [`nn`] — a minimal CPU training framework plus MNIST-like data,
 //! * [`core`] — the hybrid stochastic-binary network and retraining pipeline,
-//! * [`hw`] — the 65 nm area/power/energy cost model.
+//! * [`hw`] — the 65 nm area/power/energy cost model,
+//! * [`obs`] — zero-dependency metrics registry and span tracing
+//!   (`SCNN_METRICS` / `SCNN_TRACE`).
 //!
 //! # Quickstart
 //!
@@ -36,5 +38,6 @@ pub use scnn_bitstream as bitstream;
 pub use scnn_core as core;
 pub use scnn_hw as hw;
 pub use scnn_nn as nn;
+pub use scnn_obs as obs;
 pub use scnn_rng as rng;
 pub use scnn_sim as sim;
