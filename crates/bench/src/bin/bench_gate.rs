@@ -13,7 +13,8 @@
 //! empty *current* record is a hard failure — it means the recording path
 //! is broken, and silently passing would disable the gate forever.
 //! Derived ratio entries (speedups, cache hit rates), raw cache counters
-//! (hits/misses/evictions) and benchmarks present in only one record are
+//! (hits/misses/evictions), the whole `resilience/` namespace (accuracy
+//! points, not timings) and benchmarks present in only one record are
 //! skipped — see [`scnn_bench::report::regressions`] and
 //! [`scnn_bench::report::NON_TIMING_MARKERS`].
 

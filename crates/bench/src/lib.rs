@@ -10,4 +10,5 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod resilience;
 pub mod setup;

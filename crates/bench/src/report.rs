@@ -94,6 +94,26 @@ pub mod key {
     pub fn obs_bits(metric: &str, bits: u32) -> String {
         format!("obs/{metric}/{bits}")
     }
+
+    /// A fault-resilience measurement: `resilience/<metric>` — accuracy
+    /// points of the degradation campaign
+    /// (`resilience/accuracy/<design>/<bits>/<fault>`), derived speedups,
+    /// and curve health flags. The whole namespace is non-timing: the perf
+    /// gate skips every `resilience/` entry (accuracies move with model
+    /// quality, not runtime), while the campaign's wall clock still gates
+    /// under `bin/fault_campaign`.
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(
+    ///     key::resilience("accuracy/this-work/6/ber-0.01"),
+    ///     "resilience/accuracy/this-work/6/ber-0.01"
+    /// );
+    /// ```
+    pub fn resilience(metric: &str) -> String {
+        format!("resilience/{metric}")
+    }
 }
 
 /// A flat, machine-readable record of benchmark measurements, written as a
@@ -169,6 +189,11 @@ impl BenchJson {
     /// Looks up a measurement by exact name.
     pub fn get(&self, name: &str) -> Option<f64> {
         self.entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Iterates the recorded `(name, value)` pairs in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
     }
 
     /// Number of recorded measurements.
@@ -348,8 +373,11 @@ const OBS_TIMING_SEGMENTS: [&str; 4] = ["p50", "p90", "p99", "max"];
 /// registry exports, mostly counters, gauges, and span call/total
 /// tallies that scale with workload, *except* the stage-latency
 /// percentiles — an `obs/` name is a timing if and only if one of its
-/// `/`-separated segments is `p50`/`p90`/`p99`/`max`. Everything else
-/// falls back to the [`NON_TIMING_MARKERS`] substring rule.
+/// `/`-separated segments is `p50`/`p90`/`p99`/`max`. The `resilience/`
+/// namespace is non-timing wholesale: every entry is an accuracy point,
+/// derived ratio, or curve flag from the fault campaign (the campaign's
+/// wall clock gates separately under `bin/fault_campaign`). Everything
+/// else falls back to the [`NON_TIMING_MARKERS`] substring rule.
 ///
 /// ```
 /// use scnn_bench::report::is_non_timing;
@@ -359,6 +387,8 @@ const OBS_TIMING_SEGMENTS: [&str; 4] = ["p50", "p90", "p99", "max"];
 /// assert!(is_non_timing("obs/stage/conv/forward/count"));
 /// // obs stage latencies: gated like timings.
 /// assert!(!is_non_timing("obs/stage/conv/forward/p50"));
+/// // resilience accuracies and ratios: skipped wholesale.
+/// assert!(is_non_timing("resilience/accuracy/this-work/6/ber-0.01"));
 /// // overhead ratios: skipped.
 /// assert!(is_non_timing("forward_image/metrics_off_overhead_x"));
 /// // ordinary timings: gated.
@@ -367,6 +397,9 @@ const OBS_TIMING_SEGMENTS: [&str; 4] = ["p50", "p90", "p99", "max"];
 pub fn is_non_timing(name: &str) -> bool {
     if name == "obs" || name.starts_with("obs/") {
         return !name.split('/').any(|segment| OBS_TIMING_SEGMENTS.contains(&segment));
+    }
+    if name == "resilience" || name.starts_with("resilience/") {
+        return true;
     }
     NON_TIMING_MARKERS.iter().any(|marker| name.contains(marker))
 }
@@ -607,6 +640,33 @@ mod tests {
         // quantile, and non-obs names are unaffected by the segment rule.
         assert!(is_non_timing("obs/stage/p50ish/count"));
         assert!(!is_non_timing("bin/table3_accuracy"));
+    }
+
+    #[test]
+    fn resilience_entries_are_skipped_wholesale_by_the_gate() {
+        // Accuracy points, derived ratios, and curve flags alike.
+        assert!(is_non_timing("resilience/accuracy/this-work/6/ber-0.01"));
+        assert!(is_non_timing("resilience/accuracy/old-sc/4/stuck1-node30"));
+        assert!(is_non_timing("resilience/speedup_fault_lut_x"));
+        assert!(is_non_timing("resilience/monotone/this-work/6"));
+        // The prefix rule is a whole segment, like the obs/ rule: a name
+        // merely containing "resilience" elsewhere is not covered…
+        assert!(!is_non_timing("bin/resilience_tooling"));
+        // …and the campaign's own wall clock still gates as a timing.
+        assert!(!is_non_timing("bin/fault_campaign"));
+    }
+
+    #[test]
+    fn regressions_skip_resilience_entries() {
+        let mut baseline = BenchJson::new();
+        baseline.record("resilience/accuracy/this-work/6/ber-0.01", 0.2);
+        baseline.record("bin/fault_campaign", 100.0);
+        let mut current = BenchJson::new();
+        current.record("resilience/accuracy/this-work/6/ber-0.01", 0.9);
+        current.record("bin/fault_campaign", 500.0);
+        let found = regressions(&baseline, &current, 2.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "bin/fault_campaign");
     }
 
     #[test]

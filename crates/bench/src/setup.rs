@@ -77,7 +77,7 @@ pub fn obs_env_init() {
 pub fn with_window_cache(spec: &ScenarioSpec, mode: WindowCacheMode) -> ScenarioSpec {
     let supported = spec.head == HeadKind::Stochastic
         && spec.adder == AdderKind::Tff
-        && spec.bit_error_rate == 0.0
+        && spec.fault.is_none()
         && !spec.window_cache.is_on();
     if mode.is_on() && supported {
         spec.customize().window_cache(mode).build()

@@ -28,6 +28,20 @@ pub trait FirstLayer: Send + Sync {
     /// Returns [`Error::Config`] if the image has the wrong size.
     fn forward_image(&self, image: &[f32]) -> Result<Vec<f32>, Error>;
 
+    /// [`forward_image`](Self::forward_image) with the image's dataset
+    /// index. Deterministic engines ignore the index (this default); the
+    /// stochastic engine under count-domain fault injection seeds each
+    /// image's flip set from it, so batched evaluation is byte-identical
+    /// for any worker count or visit order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the image has the wrong size.
+    fn forward_image_indexed(&self, image: &[f32], image_index: u64) -> Result<Vec<f32>, Error> {
+        let _ = image_index;
+        self.forward_image(image)
+    }
+
     /// Number of kernels (feature channels), always 32 for LeNet-5.
     fn kernels(&self) -> usize;
 

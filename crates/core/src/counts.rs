@@ -178,6 +178,11 @@ pub trait LaneWord:
     /// Lane-wise subtraction; the caller guarantees `rhs ≤ self` in every
     /// lane, so no borrow crosses a lane boundary.
     fn lane_sub(self, rhs: Self) -> Self;
+    /// Lane-wise addition; the caller guarantees `self + rhs < 2¹⁶` in
+    /// every lane, so no carry crosses a lane boundary. The count-domain
+    /// fault injector relies on this with both sides ≤ the stream length
+    /// `N ≤ 32767`.
+    fn lane_add(self, rhs: Self) -> Self;
     #[doc(hidden)]
     fn pool_bucket(pool: &mut ScratchPool) -> &mut Vec<LaneTree<Self>>;
 }
@@ -229,6 +234,11 @@ macro_rules! impl_lane_word {
             #[inline]
             fn lane_sub(self, rhs: Self) -> Self {
                 self.wrapping_sub(rhs)
+            }
+
+            #[inline]
+            fn lane_add(self, rhs: Self) -> Self {
+                self.wrapping_add(rhs)
             }
 
             fn pool_bucket(pool: &mut ScratchPool) -> &mut Vec<LaneTree<Self>> {
@@ -472,6 +482,27 @@ impl<W: LaneWord> LevelCountTable<W> {
         let row = &self.lut[(level * self.taps + tap) * self.row_words..][..self.row_words];
         let mask = &self.pos_mask[tap * self.row_words..(tap + 1) * self.row_words];
         for (((pd, nd), &c), &m) in pos.iter_mut().zip(neg.iter_mut()).zip(row).zip(mask) {
+            let to_pos = c.and(m);
+            *pd = to_pos;
+            *nd = c.lane_sub(to_pos);
+        }
+    }
+
+    /// Routes one uniform `count` through tap `tap`'s weight signs — the
+    /// stuck-at-1 override of the count-domain fault model: positive-
+    /// weight lanes receive `count` in `pos` (and 0 in `neg`), negative
+    /// lanes the other way around. Exactly [`gather`](Self::gather) with
+    /// every lane's stored count replaced by `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` is out of range or the slices are shorter than
+    /// [`row_words`](Self::row_words).
+    #[inline]
+    pub fn split_by_sign(&self, tap: usize, count: u16, pos: &mut [W], neg: &mut [W]) {
+        let mask = &self.pos_mask[tap * self.row_words..(tap + 1) * self.row_words];
+        let c = W::splat(count);
+        for ((pd, nd), &m) in pos.iter_mut().zip(neg.iter_mut()).zip(mask) {
             let to_pos = c.and(m);
             *pd = to_pos;
             *nd = c.lane_sub(to_pos);
@@ -737,6 +768,55 @@ impl<W: LaneWord> LaneTree<W> {
         &self.root
     }
 
+    /// [`fold`](Self::fold) with a stuck-at fault: node `node` (numbered
+    /// breadth-first, bottom-up, as in [`scnn_sim::TffAdderTree`]) emits
+    /// `value` in every lane instead of its computed output — the count-
+    /// domain image of a TFF column stuck at constant 0s (`value = 0`) or
+    /// 1s (`value = N`), systematic across the kernel bank.
+    ///
+    /// `node` must be a **live** node of this tree shape (see
+    /// [`live_fold_node`]): the fold never computes the all-zero padded
+    /// tail, so a defect there has no dataflow to intervene on. The
+    /// engines validate sites at construction; here a dead or out-of-range
+    /// node simply never matches and the fold equals [`fold`](Self::fold).
+    pub fn fold_stuck(&mut self, node: usize, value: u16) -> &[W] {
+        debug_assert!(
+            self.entry.iter().all(|w| w.and(W::TOP_BITS) == W::ZERO),
+            "LaneTree leaf counts must satisfy 2·count + 1 ≤ u16::MAX"
+        );
+        let stuck = W::splat(value);
+        let rw = self.row_words;
+        let mut width = self.padded;
+        let mut live = self.taps;
+        let mut node_base = 0usize;
+        let mut cur: &mut [W] = &mut self.entry;
+        let mut nxt: &mut [W] = &mut self.scratch;
+        while width > 1 {
+            let pairs = live.div_ceil(2);
+            for i in 0..pairs {
+                let dst = &mut nxt[i * rw..(i + 1) * rw];
+                if node_base + i == node {
+                    dst.fill(stuck);
+                    continue;
+                }
+                let s0 = self.policy.state_for(node_base + i);
+                let (left, right) = cur[2 * i * rw..(2 * i + 2) * rw].split_at(rw);
+                for ((d, &x), &y) in dst.iter_mut().zip(left).zip(right) {
+                    *d = W::tff_node(x, y, s0);
+                }
+            }
+            if pairs % 2 == 1 && width > 2 {
+                nxt[pairs * rw..(pairs + 1) * rw].fill(W::ZERO);
+            }
+            node_base += width / 2;
+            width /= 2;
+            live = pairs;
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        self.root.copy_from_slice(&cur[..rw]);
+        &self.root
+    }
+
     /// The root count of logical lane `lane` from the last
     /// [`fold`](Self::fold).
     ///
@@ -798,6 +878,77 @@ pub fn fold_tree_counts_wide(policy: S0Policy, counts: &mut [u64]) -> u64 {
         width /= 2;
     }
     counts[0]
+}
+
+/// [`fold_tree_counts_wide`] with a stuck-at fault: node `stuck_node`
+/// emits `value` instead of its computed output — the scalar twin of
+/// [`LaneTree::fold_stuck`], used by the streaming engine so both paths
+/// share one defect semantics (bit-exactness is property-tested).
+///
+/// # Panics
+///
+/// Debug-panics if `counts.len()` is not a power of two.
+pub fn fold_tree_counts_wide_stuck(
+    policy: S0Policy,
+    counts: &mut [u64],
+    stuck_node: usize,
+    value: u64,
+) -> u64 {
+    debug_assert!(counts.len().is_power_of_two(), "fold needs the padded tree width");
+    let mut width = counts.len();
+    let mut node = 0usize;
+    while width > 1 {
+        for i in 0..width / 2 {
+            counts[i] = if node == stuck_node {
+                value
+            } else {
+                let sum = counts[2 * i] + counts[2 * i + 1];
+                if policy.state_for(node) {
+                    sum.div_ceil(2)
+                } else {
+                    sum / 2
+                }
+            };
+            node += 1;
+        }
+        width /= 2;
+    }
+    counts[0]
+}
+
+/// Whether breadth-first node `node` is on the **live prefix** of a
+/// `taps`-leaf TFF tree fold — the nodes [`LaneTree::fold`] actually
+/// computes. The padded tail above `taps` is all-zero by construction and
+/// the fold skips it, so only live nodes are valid stuck-at sites (the
+/// engines reject the rest at construction).
+///
+/// # Example
+///
+/// ```
+/// use scnn_core::counts::live_fold_node;
+///
+/// // A 25-tap (5×5 window) tree pads to 32 leaves: 13 + 7 + 4 + 2 + 1
+/// // live nodes of the 31 structural ones.
+/// assert!(live_fold_node(25, 0)); // first bottom-level node
+/// assert!(live_fold_node(25, 12)); // last live bottom-level node
+/// assert!(!live_fold_node(25, 13)); // dead: pads rows 26..32
+/// assert!(live_fold_node(25, 30)); // the root
+/// assert!(!live_fold_node(25, 31)); // out of range
+/// ```
+pub fn live_fold_node(taps: usize, node: usize) -> bool {
+    let mut width = taps.next_power_of_two();
+    let mut live = taps;
+    let mut node_base = 0usize;
+    while width > 1 {
+        let pairs = live.div_ceil(2);
+        if (node_base..node_base + pairs).contains(&node) {
+            return true;
+        }
+        node_base += width / 2;
+        width /= 2;
+        live = pairs;
+    }
+    false
 }
 
 /// A per-thread pool of reusable [`LaneTree`] scratch, one bucket per
@@ -2034,5 +2185,151 @@ mod tests {
         // caller guarantees the key identifies the content).
         assert_eq!(cache.product(2, 1, &[0, 0], &[0, 0]), &expect);
         assert_eq!(cache.product(0, 0, &[0, 0], &[0, 0]), &[0u64, 0]);
+    }
+
+    #[test]
+    fn live_fold_node_matches_the_fold_walk() {
+        // Enumerate live nodes by re-walking the fold's level loop and
+        // cross-check the predicate over the full structural range.
+        for taps in 1usize..=33 {
+            let padded = taps.next_power_of_two();
+            let mut expected = std::collections::HashSet::new();
+            let (mut width, mut live, mut node_base) = (padded, taps, 0usize);
+            while width > 1 {
+                for i in 0..live.div_ceil(2) {
+                    expected.insert(node_base + i);
+                }
+                node_base += width / 2;
+                live = live.div_ceil(2);
+                width /= 2;
+            }
+            for node in 0..padded.max(2) {
+                assert_eq!(
+                    live_fold_node(taps, node),
+                    expected.contains(&node),
+                    "taps={taps} node={node}"
+                );
+            }
+        }
+        // The documented 25-tap shape: 27 live of 31 structural nodes.
+        assert_eq!((0..31).filter(|&n| live_fold_node(25, n)).count(), 27);
+    }
+
+    #[test]
+    fn fold_stuck_matches_the_scalar_stuck_fold_per_lane() {
+        let (taps, lanes, n) = (25usize, 5usize, 64usize);
+        for policy in [S0Policy::AllZero, S0Policy::AllOne, S0Policy::Alternating] {
+            for value in [0u16, 17, n as u16] {
+                for node in (0..31).filter(|&nd| live_fold_node(taps, nd)) {
+                    let mut tree = LaneTree::<u64>::new(taps, lanes, policy, n).unwrap();
+                    let mut scalar = vec![vec![0u64; taps.next_power_of_two()]; lanes];
+                    #[allow(clippy::needless_range_loop)]
+                    for t in 0..taps {
+                        let row = tree.tap_lanes_mut(t);
+                        for lane in 0..lanes {
+                            let c = ((t * 7 + lane * 13) % (n + 1)) as u16;
+                            row[lane / <u64 as LaneWord>::LANES]
+                                .set_lane(lane % <u64 as LaneWord>::LANES, c);
+                            scalar[lane][t] = u64::from(c);
+                        }
+                    }
+                    tree.fold_stuck(node, value);
+                    for (lane, counts) in scalar.iter().enumerate() {
+                        let want = fold_tree_counts_wide_stuck(
+                            policy,
+                            &mut counts.clone(),
+                            node,
+                            u64::from(value),
+                        );
+                        assert_eq!(
+                            u64::from(tree.root_lane(lane)),
+                            want,
+                            "policy={policy:?} node={node} value={value} lane={lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_stuck_without_a_matching_node_equals_fold() {
+        let (taps, lanes, n) = (25usize, 3usize, 64usize);
+        let mut a = LaneTree::<u32>::new(taps, lanes, S0Policy::Alternating, n).unwrap();
+        let mut b = a.clone();
+        for t in 0..taps {
+            for lane in 0..lanes {
+                let c = ((t * 11 + lane * 5) % (n + 1)) as u16;
+                a.tap_lanes_mut(t)[lane / 2].set_lane(lane % 2, c);
+                b.tap_lanes_mut(t)[lane / 2].set_lane(lane % 2, c);
+            }
+        }
+        // Node 13 is dead for a 25-tap tree; an out-of-range index too.
+        assert_eq!(a.fold().to_vec(), b.fold_stuck(13, 50).to_vec());
+        assert_eq!(a.fold().to_vec(), b.fold_stuck(1000, 50).to_vec());
+    }
+
+    #[test]
+    fn split_by_sign_routes_uniform_counts_by_weight_sign() {
+        let n = 16;
+        let seq = crate::SourceKind::Ramp.sequence(4, n, 1).unwrap();
+        let (taps, lanes) = (3usize, 5usize);
+        let mut weights = StreamArena::new(taps * lanes, n).unwrap();
+        let mut neg = vec![false; taps * lanes];
+        for (i, n) in neg.iter_mut().enumerate() {
+            weights.write_from_levels(i, &seq, (i as u64 * 5) % 17);
+            *n = i % 3 == 1;
+        }
+        let table = LevelCountTable::<u64>::build(&seq, &weights, &neg, taps, lanes).unwrap();
+        let rw = table.row_words();
+        let mut pos = vec![0u64; rw];
+        let mut neg_row = vec![0u64; rw];
+        for t in 0..taps {
+            table.split_by_sign(t, n as u16, &mut pos, &mut neg_row);
+            for lane in 0..lanes {
+                let p = pos[lane / 4].lane(lane % 4);
+                let m = neg_row[lane / 4].lane(lane % 4);
+                if neg[lane * taps + t] {
+                    assert_eq!((p, m), (0, n as u16), "tap={t} lane={lane}");
+                } else {
+                    assert_eq!((p, m), (n as u16, 0), "tap={t} lane={lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_cache_recovers_from_a_poisoned_shard() {
+        use std::sync::Arc;
+        let cache = Arc::new(WindowCache::new(WINDOW_CACHE_SHARDS * 2, 2, 1).unwrap());
+        // Find two keys on shard 0: one inserted before the poison, one
+        // after, so both the hit path and the insert path are exercised
+        // across the recovery.
+        let mut on_shard0 = Vec::new();
+        let mut b = 0u16;
+        while on_shard0.len() < 2 {
+            if fnv1a(&b.to_le_bytes()).is_multiple_of(WINDOW_CACHE_SHARDS as u64) {
+                on_shard0.push(b.to_le_bytes());
+            }
+            b += 1;
+        }
+        cache.insert(&on_shard0[0], &[7]);
+        // Panic a thread while it holds shard 0's guard — the classic
+        // poisoning scenario a worker panic mid-lookup would produce.
+        let poisoner = Arc::clone(&cache);
+        let handle = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("poison shard 0 on purpose");
+        });
+        assert!(handle.join().is_err(), "the poisoning thread must panic");
+        assert!(cache.shards[0].lock().is_err(), "shard 0 must actually be poisoned");
+        // Subsequent callers recover the guard: the pre-poison entry is
+        // still readable and new inserts land.
+        let mut out = [0u16; 1];
+        assert!(cache.get_into(&on_shard0[0], &mut out));
+        assert_eq!(out, [7]);
+        cache.insert(&on_shard0[1], &[9]);
+        assert!(cache.get_into(&on_shard0[1], &mut out));
+        assert_eq!(out, [9]);
     }
 }

@@ -166,8 +166,16 @@ type FeatureChunk = Result<(Vec<f32>, Vec<u8>), Error>;
 
 /// Engine + pooling for one image: the per-item kernel of
 /// [`FeatureSource`] (and through it every feature-extraction path).
-fn head_features(head: &dyn FirstLayer, kernels: usize, image: &[f32]) -> Result<Vec<f32>, Error> {
-    let raw = head.forward_image(image)?;
+/// `index` is the image's position in the source dataset, which seeds
+/// per-image fault injection on engines that model it — threading it here
+/// keeps faulted feature extraction byte-identical for any worker count.
+fn head_features(
+    head: &dyn FirstLayer,
+    kernels: usize,
+    image: &[f32],
+    index: u64,
+) -> Result<Vec<f32>, Error> {
+    let raw = head.forward_image_indexed(image, index)?;
     let t = Tensor::from_vec(raw, &[1, kernels, 28, 28])?;
     let mut pool = MaxPool2d::new();
     Ok(pool.forward(&t, false)?.into_vec())
@@ -232,7 +240,7 @@ impl<S: BatchSource + ?Sized> BatchSource for FeatureSource<'_, S> {
         let mut data = Vec::with_capacity(range.len() * out_len);
         for i in 0..range.len() {
             let image = &x.data()[i * in_len..(i + 1) * in_len];
-            let pooled = head_features(self.head, kernels, image)
+            let pooled = head_features(self.head, kernels, image, (range.start + i) as u64)
                 .map_err(|e| scnn_nn::Error::InvalidDataset { reason: e.to_string() })?;
             data.extend_from_slice(&pooled);
         }

@@ -59,6 +59,7 @@ mod baseline;
 pub mod counts;
 mod dense;
 mod error;
+mod faults;
 mod hybrid;
 pub mod parallel;
 mod retrain;
@@ -75,4 +76,5 @@ pub use error::Error;
 pub use hybrid::{FeatureSource, HybridLenet};
 pub use retrain::{retrain, train_base, BaseModel, RetrainConfig, RetrainReport, TrainConfig};
 pub use scenario::{HeadKind, ScenarioBuilder, ScenarioSpec};
+pub use scnn_sim::{FaultError, FaultModel, FaultSite};
 pub use stochastic::{AdderKind, ScOptions, SourceKind, StochasticConvLayer};

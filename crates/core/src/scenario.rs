@@ -40,7 +40,7 @@ use crate::Error;
 use scnn_bitstream::Precision;
 use scnn_nn::layers::{Conv2d, Dense};
 use scnn_nn::Network;
-use scnn_sim::S0Policy;
+use scnn_sim::{FaultModel, S0Policy};
 
 /// Which first-layer engine family a scenario compiles to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,9 +79,10 @@ pub struct ScenarioSpec {
     pub s0_policy: S0Policy,
     /// Soft threshold τ in scaled dot-product units.
     pub soft_threshold: f32,
-    /// Per-bit flip probability injected into pixel streams (fault model);
-    /// `0.0` disables injection.
-    pub bit_error_rate: f64,
+    /// Fault model for the resilience experiments:
+    /// [`FaultModel::None`] in every preset; bit errors, stuck-at sites
+    /// or both (see [`ScOptions::fault`]).
+    pub fault: FaultModel,
     /// Input domain for dense compilations ([`dense_layer`](Self::dense_layer)).
     pub input_mode: DenseInput,
     /// Seed for LFSRs, random sources and fault injection.
@@ -136,7 +137,7 @@ impl ScenarioSpec {
             weight_source: options.weight_source,
             s0_policy: options.s0_policy,
             soft_threshold: options.soft_threshold,
-            bit_error_rate: options.bit_error_rate,
+            fault: options.fault,
             input_mode: DenseInput::Unipolar,
             seed: options.seed,
             lane_width: options.lane_width,
@@ -166,7 +167,7 @@ impl ScenarioSpec {
             weight_source: self.weight_source,
             s0_policy: self.s0_policy,
             soft_threshold: self.soft_threshold,
-            bit_error_rate: self.bit_error_rate,
+            fault: self.fault,
             seed: self.seed,
             lane_width: self.lane_width,
             window_cache: self.window_cache,
@@ -177,7 +178,7 @@ impl ScenarioSpec {
     /// an explicit width needs a stochastic head and a precision whose
     /// stream counts fit the shared 16-bit lane ceiling (≤ 14 bits).
     /// The engine constructors enforce the remaining count-path
-    /// requirements (TFF adder, zero bit-error rate, table budget).
+    /// requirements (TFF adder, table budget).
     fn validate_lane_width(&self) -> Result<(), Error> {
         if self.lane_width == LaneWidth::Auto {
             return Ok(());
@@ -200,9 +201,9 @@ impl ScenarioSpec {
 
     /// Rejects window-memoization requests the compiled engine could not
     /// honor: a non-`Off` mode needs a stochastic head, the TFF adder and
-    /// a zero bit-error rate (the memoized fold outputs only exist on the
-    /// count-domain path). The engine constructor enforces the remaining
-    /// requirements (table budget, lane ceiling).
+    /// a fault-free datapath (the memoized fold outputs only exist on the
+    /// fault-free count-domain path). The engine constructor enforces the
+    /// remaining requirements (table budget, lane ceiling).
     fn validate_window_cache(&self) -> Result<(), Error> {
         self.window_cache.validate()?;
         if !self.window_cache.is_on() {
@@ -220,10 +221,11 @@ impl ScenarioSpec {
                  bits the selects sample, so there is no per-window count to memoize)",
             ));
         }
-        if self.bit_error_rate != 0.0 {
+        if !self.fault.is_none() {
             return Err(Error::config(
-                "window_cache requires a zero bit-error rate (fault injection perturbs pixel \
-                 bits, so windows with equal levels no longer share outputs)",
+                "window_cache requires a fault-free scenario (a faulted fold is not a pure \
+                 function of the window levels, so windows with equal levels no longer share \
+                 outputs)",
             ));
         }
         Ok(())
@@ -321,7 +323,7 @@ impl ScenarioSpec {
             ("pixel_source", self.pixel_source != supported.pixel_source),
             ("weight_source", self.weight_source != supported.weight_source),
             ("s0_policy", self.s0_policy != crate::dense::DENSE_S0_POLICY),
-            ("bit_error_rate", self.bit_error_rate != 0.0),
+            ("fault", !self.fault.is_none()),
             // Window memoization is a conv concept: the dense engine has
             // no sliding window to key on.
             ("window_cache", self.window_cache.is_on()),
@@ -392,9 +394,30 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the per-bit flip probability of the fault model.
+    /// Sets the full [`FaultModel`] (bit errors, stuck-at sites, or both).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scnn_core::{FaultModel, FaultSite, ScenarioSpec};
+    ///
+    /// let spec = ScenarioSpec::this_work(6)
+    ///     .customize()
+    ///     .fault(FaultModel::StuckAt { site: FaultSite::AdderNode { node: 30 }, value: true })
+    ///     .build();
+    /// assert_eq!(spec.fault.label(), "stuck1-node30");
+    /// ```
+    pub fn fault(mut self, fault: FaultModel) -> Self {
+        self.spec.fault = fault;
+        self
+    }
+
+    /// Sets a pure bit-error fault model with the given per-bit flip
+    /// probability (shorthand for
+    /// [`fault`](Self::fault)`(FaultModel::BitError(rate))`; `0.0` means
+    /// fault-free).
     pub fn bit_error_rate(mut self, rate: f64) -> Self {
-        self.spec.bit_error_rate = rate;
+        self.spec.fault = if rate == 0.0 { FaultModel::None } else { FaultModel::BitError(rate) };
         self
     }
 
@@ -504,7 +527,7 @@ mod tests {
         assert_eq!(spec.pixel_source, SourceKind::Lfsr);
         assert_eq!(spec.s0_policy, S0Policy::AllZero);
         assert_eq!(spec.soft_threshold, 0.5);
-        assert_eq!(spec.bit_error_rate, 0.01);
+        assert_eq!(spec.fault, FaultModel::BitError(0.01));
         assert_eq!(spec.input_mode, DenseInput::Ternary);
         assert_eq!(spec.seed, 99);
         // Every builder field must survive the round trip into ScOptions.
@@ -514,7 +537,7 @@ mod tests {
         assert_eq!(opts.weight_source, SourceKind::Lfsr);
         assert_eq!(opts.s0_policy, S0Policy::AllZero);
         assert_eq!(opts.soft_threshold, 0.5);
-        assert_eq!(opts.bit_error_rate, 0.01);
+        assert_eq!(opts.fault, FaultModel::BitError(0.01));
         assert_eq!(opts.seed, 99);
         assert_eq!(spec.customize().head(HeadKind::Float).build().label(), "float");
     }
@@ -629,11 +652,17 @@ mod tests {
         let mux = ScenarioSpec::old_sc(6).customize().window_cache(on).build();
         let err = mux.first_layer(&conv()).err().unwrap();
         assert!(err.to_string().contains("TFF"), "{err}");
-        // Fault injection perturbs bits, so equal levels diverge.
+        // A faulted fold is not a pure function of the window levels.
         let noisy =
             ScenarioSpec::this_work(6).customize().bit_error_rate(0.01).window_cache(on).build();
         let err = noisy.first_layer(&conv()).err().unwrap();
-        assert!(err.to_string().contains("bit-error"), "{err}");
+        assert!(err.to_string().contains("fault"), "{err}");
+        let stuck = ScenarioSpec::this_work(6)
+            .customize()
+            .fault(FaultModel::StuckAt { site: crate::FaultSite::LutTap { tap: 3 }, value: false })
+            .window_cache(on)
+            .build();
+        assert!(stuck.first_layer(&conv()).is_err());
         // A zero budget is degenerate in any position.
         let zero = ScenarioSpec::this_work(6)
             .customize()

@@ -1,10 +1,11 @@
 use crate::arena::{and_count, mux_words, StreamArena};
 use crate::baseline::{ternary, window_taps, FirstLayer, KernelBank, IMAGE_SIDE};
 use crate::counts::{
-    fold_tree_counts_wide, table_fits, AnyLevelCountTable, LaneWidth, LaneWord, LevelCountTable,
-    LevelStreamCache, PooledTree, ProductCache, ScratchPool, WindowCache, WindowCacheMode,
-    WindowCacheStats,
+    fold_tree_counts_wide, fold_tree_counts_wide_stuck, live_fold_node, table_fits,
+    AnyLevelCountTable, LaneWidth, LaneWord, LevelCountTable, LevelStreamCache, PooledTree,
+    ProductCache, ScratchPool, WindowCache, WindowCacheMode, WindowCacheStats,
 };
+use crate::faults::{gather_faulted, AnyCountFaultPlan, ImageFaults};
 use crate::Error;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,7 +13,7 @@ use scnn_bitstream::Precision;
 use scnn_nn::layers::Conv2d;
 use scnn_nn::quant::{pixel_level, weight_level};
 use scnn_rng::{Lfsr, NumberSource, Ramp, Sobol2, TrueRandom, VanDerCorput};
-use scnn_sim::S0Policy;
+use scnn_sim::{FaultModel, FaultSite, S0Policy};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Which number source drives a comparator SNG bank in the engine.
@@ -83,9 +84,12 @@ pub struct ScOptions {
     pub s0_policy: S0Policy,
     /// Soft threshold τ in scaled dot-product units (Kim et al.).
     pub soft_threshold: f32,
-    /// Per-bit flip probability injected into pixel streams (fault
-    /// tolerance experiments); `0.0` disables injection.
-    pub bit_error_rate: f64,
+    /// Fault model for the resilience experiments (paper §I / Fig. 8):
+    /// [`FaultModel::None`] (every preset) runs fault-free;
+    /// [`FaultModel::BitError`] injects per-bit stream flips — in the
+    /// count domain on the TFF fast path, literally on the streaming
+    /// path; stuck-at models pin a datapath site (TFF only).
+    pub fault: FaultModel,
     /// Seed for LFSRs, random sources and fault injection.
     pub seed: u64,
     /// [`LaneWord`] width of the count-domain fold. [`LaneWidth::Auto`]
@@ -95,8 +99,9 @@ pub struct ScOptions {
     pub lane_width: LaneWidth,
     /// Window memoization ([`WindowCache`]): `Off` in every preset;
     /// a budgeted mode memoizes per-window fold outputs and is a
-    /// construction error on configurations without the count-domain path
-    /// (MUX adder, fault injection, oversized table).
+    /// construction error on configurations without the fault-free
+    /// count-domain path (MUX adder, any fault model, oversized table —
+    /// a faulted fold is not a pure function of the window key).
     pub window_cache: WindowCacheMode,
 }
 
@@ -110,7 +115,7 @@ impl ScOptions {
             weight_source: SourceKind::Sobol2,
             s0_policy: S0Policy::Alternating,
             soft_threshold: 0.0,
-            bit_error_rate: 0.0,
+            fault: FaultModel::None,
             seed: 42,
             lane_width: LaneWidth::Auto,
             window_cache: WindowCacheMode::Off,
@@ -126,7 +131,7 @@ impl ScOptions {
             weight_source: SourceKind::Lfsr,
             s0_policy: S0Policy::Alternating,
             soft_threshold: 0.0,
-            bit_error_rate: 0.0,
+            fault: FaultModel::None,
             seed: 42,
             lane_width: LaneWidth::Auto,
             window_cache: WindowCacheMode::Off,
@@ -173,10 +178,14 @@ impl Default for ScOptions {
 /// parallel [`LaneTree`](crate::counts::LaneTree) lanes — zero bitstream
 /// traffic, bit-exact with
 /// [`forward_image_streaming`](Self::forward_image_streaming) (property
-/// tested). The streaming simulation remains in use where bits genuinely
-/// matter: the MUX tree (select sampling, with AND products deduplicated
-/// through a [`ProductCache`](crate::counts::ProductCache)) and fault
-/// injection (`bit_error_rate > 0`). The shared machinery lives in
+/// tested). Fault injection stays on the fast path: bit errors are lifted
+/// into per-(pixel, tap) count deltas and stuck-at sites into gather/fold
+/// overrides, so faulted sweeps run at LUT speed (see
+/// [`ScOptions::fault`]). The streaming simulation remains in use where
+/// bits genuinely matter: the MUX tree (select sampling, with AND products
+/// deduplicated through a [`ProductCache`](crate::counts::ProductCache)),
+/// where it also serves as the ground-truth fault reference. The shared
+/// machinery lives in
 /// [`counts`](crate::counts) and also powers
 /// [`StochasticDenseLayer`](crate::StochasticDenseLayer).
 #[derive(Debug, Clone)]
@@ -195,9 +204,14 @@ pub struct StochasticConvLayer {
     /// Select streams for the MUX trees (2·(padded−1) streams), empty for TFF.
     select_streams: StreamArena,
     /// Level-indexed AND-count table of the configured [`LaneWidth`];
-    /// `None` when the streaming path must run (MUX adder, fault
-    /// injection, oversized table).
+    /// `None` when the streaming path must run (MUX adder, oversized
+    /// table).
     lut: Option<AnyLevelCountTable>,
+    /// Count-domain bit-error plan, built when the table is live and
+    /// [`ScOptions::fault`] carries a positive bit-error rate; per image
+    /// it samples the flip set from `(seed, image_index, pixel)` and
+    /// perturbs the gathered counts exactly as literal stream flips would.
+    fault_plan: Option<AnyCountFaultPlan>,
     /// Prefilled per-(pixel-level, weight) AND products for the MUX path;
     /// `None` under fault injection (pixel bits are perturbed) or when the
     /// cache exceeds its budget. Built once at construction, shared by
@@ -234,6 +248,33 @@ impl StochasticConvLayer {
         let n = precision.stream_len();
         let ksq = bank.ksize * bank.ksize;
         let padded = ksq.next_power_of_two();
+
+        // Fault-model validation: a malformed rate is rejected up front,
+        // and a stuck-at site must name real hardware — a window tap or a
+        // live node of the TFF fold (the MUX tree has no count-domain
+        // nodes to pin).
+        options.fault.validate().map_err(|e| Error::config(e.to_string()))?;
+        if let Some((site, _)) = options.fault.stuck() {
+            if options.adder != AdderKind::Tff {
+                return Err(Error::config("stuck-at fault models target the TFF adder datapath"));
+            }
+            match site {
+                FaultSite::LutTap { tap } if tap as usize >= ksq => {
+                    return Err(Error::config(format!(
+                        "stuck-at tap {tap} out of range (window has {ksq} taps)"
+                    )));
+                }
+                FaultSite::AdderNode { node } if !live_fold_node(ksq, node as usize) => {
+                    return Err(Error::config(format!(
+                        "stuck-at node {node} is not a live node of the {ksq}-tap TFF fold"
+                    )));
+                }
+                _ => {}
+            }
+            if scnn_obs::metrics_enabled() {
+                scnn_obs::registry().counter("fault/sites").add(1);
+            }
+        }
 
         // Shared weight SNG bank: one sequence, one comparator per weight.
         const WEIGHT_SEED_SALT: u64 = 0x77_5eed;
@@ -272,11 +313,12 @@ impl StochasticConvLayer {
         };
 
         // Level-indexed AND-count table (see the type-level docs). Only the
-        // TFF adder admits the count-domain shortcut, and fault injection
-        // needs real bits; `table_fits` additionally gates the memory
-        // budget and the 16-bit lane arithmetic shared by every width.
+        // TFF adder admits the count-domain shortcut; `table_fits`
+        // additionally gates the memory budget and the 16-bit lane
+        // arithmetic shared by every width. Fault injection no longer
+        // forces streaming: bit errors become count deltas (the plan
+        // below) and stuck-at sites become gather/fold overrides.
         let count_path = options.adder == AdderKind::Tff
-            && options.bit_error_rate == 0.0
             && table_fits(n, ksq, bank.kernels)
             && options.lane_width.supports_counts_to(n);
         let lut = if count_path {
@@ -293,12 +335,28 @@ impl StochasticConvLayer {
             // An explicit width pins the count-domain fold; the silent
             // streaming fallback would ignore it.
             return Err(Error::config(format!(
-                "lane width {} requires the count-domain path (TFF adder, zero bit-error rate, \
-                 table within budget, stream counts within the 16-bit lane ceiling)",
+                "lane width {} requires the count-domain path (TFF adder, table within budget, \
+                 stream counts within the 16-bit lane ceiling)",
                 options.lane_width
             )));
         } else {
             None
+        };
+
+        // Count-domain bit-error plan: per-(stream bit, tap) weight bit
+        // planes, sampled per (image index, pixel) at forward time.
+        let fault_plan = match (&lut, options.fault.bit_error_rate()) {
+            (Some(table), ber) if ber > 0.0 => Some(AnyCountFaultPlan::build(
+                table.width(),
+                ber,
+                options.seed,
+                &pixel_seq,
+                &weight_streams,
+                &weight_neg,
+                ksq,
+                bank.kernels,
+            )),
+            _ => None,
         };
 
         // MUX AND-product dedup (the count table does not apply — the MUX
@@ -309,7 +367,7 @@ impl StochasticConvLayer {
         // products and only the select sampling reruns.
         let num_weights = bank.kernels * ksq;
         let mux_products = if options.adder == AdderKind::Mux
-            && options.bit_error_rate == 0.0
+            && options.fault.is_none()
             && ProductCache::fits(n + 1, num_weights, n.div_ceil(64))
         {
             let mut cache = ProductCache::new(n + 1, num_weights, n.div_ceil(64));
@@ -327,17 +385,19 @@ impl StochasticConvLayer {
 
         // Window memoization rides on the count table: the memoized value
         // is the fold of table gathers, so without the table there is
-        // nothing sound to key on — requesting it there is a configuration
+        // nothing sound to key on — and a faulted fold is not a pure
+        // function of the window key (bit-error deltas vary per image and
+        // pixel position). Requesting it on either configuration is an
         // error, mirroring the explicit lane-width contract above.
         options.window_cache.validate()?;
         let window_cache = match options.window_cache.entries() {
-            Some(entries) if lut.is_some() => {
+            Some(entries) if lut.is_some() && options.fault.is_none() => {
                 Some(Arc::new(WindowCache::new(entries, 2 * ksq, 2 * bank.kernels)?))
             }
             Some(_) => {
                 return Err(Error::config(format!(
-                    "window_cache ({}) requires the count-domain path (TFF adder, zero \
-                     bit-error rate, table within budget, stream counts within the 16-bit \
+                    "window_cache ({}) requires the fault-free count-domain path (TFF adder, \
+                     no fault injection, table within budget, stream counts within the 16-bit \
                      lane ceiling)",
                     options.window_cache
                 )));
@@ -357,6 +417,7 @@ impl StochasticConvLayer {
             weight_neg,
             select_streams,
             lut,
+            fault_plan,
             mux_products,
             level_streams,
             window_cache,
@@ -432,7 +493,8 @@ impl StochasticConvLayer {
                 arena.stream_mut(p).copy_from_slice(level_words.words(level));
             }
         }
-        if self.options.bit_error_rate > 0.0 {
+        let ber = self.options.fault.bit_error_rate();
+        if ber > 0.0 {
             // Deterministic per image content.
             let content_hash: u64 =
                 image.iter().enumerate().map(|(i, &v)| (i as u64 + 1) * (v.to_bits() as u64)).sum();
@@ -442,7 +504,7 @@ impl StochasticConvLayer {
             // directly (P(gap = g) = (1 − p)^g · p, the inverse-CDF form)
             // instead of one Bernoulli draw per bit — the same flip
             // distribution in O(expected flips) rather than O(total bits).
-            let p = self.options.bit_error_rate;
+            let p = ber;
             // ln(1 − p) via ln_1p so denormally small rates don't round the
             // denominator to 0 (−∞ when p == 1: every gap is 0).
             let ln_keep = (-p).ln_1p();
@@ -463,7 +525,8 @@ impl StochasticConvLayer {
     }
 
     /// Whether the level-indexed AND-count fast path is active (TFF adder,
-    /// no fault injection, table within budget).
+    /// table within budget) — faulted configurations included: bit errors
+    /// run as count deltas, stuck-at sites as gather/fold overrides.
     pub fn uses_count_table(&self) -> bool {
         self.lut.is_some()
     }
@@ -516,13 +579,15 @@ impl StochasticConvLayer {
     }
 
     /// The count-domain fast path: dispatches the configured lane width
-    /// into the monomorphized fold.
-    fn forward_image_lut(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
+    /// into the monomorphized fold. `image_index` seeds the bit-error
+    /// flip set (ignored when the engine is fault-free), keeping faulted
+    /// results byte-identical for any thread count or batch order.
+    fn forward_image_lut(&self, image: &[f32], image_index: u64) -> Result<Vec<f32>, Error> {
         match self.lut.as_ref().expect("caller checked uses_count_table") {
-            AnyLevelCountTable::U16(lut) => self.forward_image_lut_typed(lut, image),
-            AnyLevelCountTable::U32(lut) => self.forward_image_lut_typed(lut, image),
-            AnyLevelCountTable::U64(lut) => self.forward_image_lut_typed(lut, image),
-            AnyLevelCountTable::U128(lut) => self.forward_image_lut_typed(lut, image),
+            AnyLevelCountTable::U16(lut) => self.forward_image_lut_typed(lut, image, image_index),
+            AnyLevelCountTable::U32(lut) => self.forward_image_lut_typed(lut, image, image_index),
+            AnyLevelCountTable::U64(lut) => self.forward_image_lut_typed(lut, image, image_index),
+            AnyLevelCountTable::U128(lut) => self.forward_image_lut_typed(lut, image, image_index),
         }
     }
 
@@ -537,6 +602,7 @@ impl StochasticConvLayer {
         &self,
         lut: &LevelCountTable<W>,
         image: &[f32],
+        image_index: u64,
     ) -> Result<Vec<f32>, Error> {
         if image.len() != IMAGE_SIDE * IMAGE_SIDE {
             return Err(Error::config(format!(
@@ -552,6 +618,17 @@ impl StochasticConvLayer {
         let bits = self.precision.bits();
         let lanes = self.bank.kernels;
         let levels: Vec<usize> = image.iter().map(|&v| pixel_level(v, bits) as usize).collect();
+        // Per-image fault state: the sampled flip lists (bit errors,
+        // seeded from the image index) and the stuck-at site, applied on
+        // top of the healthy gathers and folds below.
+        let faults: Option<ImageFaults<'_, W>> =
+            self.fault_plan.as_ref().map(|p| p.typed::<W>().image_faults(&levels, image_index));
+        let stuck = self.options.fault.stuck();
+        if scnn_obs::metrics_enabled() {
+            if let Some(f) = &faults {
+                scnn_obs::registry().counter("fault/injected").add(f.flips);
+            }
+        }
         let n_out = IMAGE_SIDE * IMAGE_SIDE;
         let scale = self.padded as f32;
         let n_f = self.n as f32;
@@ -601,14 +678,57 @@ impl StochasticConvLayer {
                 // LaneTree reuse contract.
                 for (t, px) in window_taps(self.bank.ksize, oy, ox) {
                     if let Some(p) = px {
-                        lut.gather(levels[p], t, pos.tap_lanes_mut(t), neg.tap_lanes_mut(t));
+                        match &faults {
+                            Some(f) => gather_faulted(
+                                lut,
+                                f,
+                                levels[p],
+                                p,
+                                t,
+                                pos.tap_lanes_mut(t),
+                                neg.tap_lanes_mut(t),
+                            ),
+                            None => {
+                                lut.gather(levels[p], t, pos.tap_lanes_mut(t), neg.tap_lanes_mut(t))
+                            }
+                        }
                     } else {
                         pos.tap_lanes_mut(t).fill(W::ZERO);
                         neg.tap_lanes_mut(t).fill(W::ZERO);
                     }
                 }
-                pos.fold();
-                neg.fold();
+                // A stuck AND-gate line overrides whatever the gather (and
+                // any bit-error delta) produced — for out-of-image taps
+                // too: the defective gate drives its line regardless of
+                // the pixel feeding it. Stuck-at-1 counts N toward the
+                // tree each weight's sign feeds; stuck-at-0 zeroes both.
+                if let Some((FaultSite::LutTap { tap }, value)) = stuck {
+                    let t = tap as usize;
+                    if value {
+                        lut.split_by_sign(
+                            t,
+                            self.n as u16,
+                            pos.tap_lanes_mut(t),
+                            neg.tap_lanes_mut(t),
+                        );
+                    } else {
+                        pos.tap_lanes_mut(t).fill(W::ZERO);
+                        neg.tap_lanes_mut(t).fill(W::ZERO);
+                    }
+                }
+                match stuck {
+                    // A stuck TFF column pins one node of the positive
+                    // tree (a systematic defect: the same physical adder
+                    // in every window).
+                    Some((FaultSite::AdderNode { node }, value)) => {
+                        pos.fold_stuck(node as usize, if value { self.n as u16 } else { 0 });
+                        neg.fold();
+                    }
+                    _ => {
+                        pos.fold();
+                        neg.fold();
+                    }
+                }
                 for k in 0..lanes {
                     roots[k] = pos.root_lane(k);
                     roots[lanes + k] = neg.root_lane(k);
@@ -625,10 +745,13 @@ impl StochasticConvLayer {
     /// The bit-level streaming engine — the hardware reference model.
     ///
     /// [`forward_image`](FirstLayer::forward_image) dispatches here
-    /// whenever the count-domain table is unavailable (MUX adder, fault
-    /// injection, oversized table); it stays public so benches and
-    /// property tests can compare the two paths on any configuration
-    /// (they are bit-exact for the TFF engine).
+    /// whenever the count-domain table is unavailable (MUX adder,
+    /// oversized table); it stays public so benches and property tests can
+    /// compare the two paths on any configuration (bit-exact for the
+    /// fault-free and stuck-at TFF engine). Under
+    /// [`FaultModel::BitError`] this path flips literal stream bits seeded
+    /// by image *content* — the ground-truth realization the count-domain
+    /// deltas are statistically matched against.
     ///
     /// # Errors
     ///
@@ -660,6 +783,9 @@ impl StochasticConvLayer {
         let scale = self.padded as f32;
         let n_f = self.n as f32;
         let policy = self.options.s0_policy;
+        // Stuck-at site, mirrored from the LUT path (construction already
+        // rejected stuck-at on the MUX adder, so only the TFF arm reads it).
+        let stuck = self.options.fault.stuck();
         let mut out = vec![0.0f32; self.bank.kernels * n_out];
         let w = self.weight_streams.words_per_stream();
         let mut scratch = vec![0u64; self.padded * w];
@@ -700,10 +826,39 @@ impl StochasticConvLayer {
                                     }
                                 }
                             }
-                            (
-                                fold_tree_counts_wide(policy, &mut pos_counts),
-                                fold_tree_counts_wide(policy, &mut neg_counts),
-                            )
+                            // Stuck AND-gate line: override the tap's count
+                            // (out-of-image taps included), routed by this
+                            // kernel's weight sign — exactly the LUT path's
+                            // split_by_sign override.
+                            if let Some((FaultSite::LutTap { tap }, value)) = stuck {
+                                let t = tap as usize;
+                                pos_counts[t] = 0;
+                                neg_counts[t] = 0;
+                                if value {
+                                    let c = self.n as u64;
+                                    if self.weight_neg[k * ksq + t] {
+                                        neg_counts[t] = c;
+                                    } else {
+                                        pos_counts[t] = c;
+                                    }
+                                }
+                            }
+                            match stuck {
+                                // Stuck TFF column in the positive tree.
+                                Some((FaultSite::AdderNode { node }, value)) => (
+                                    fold_tree_counts_wide_stuck(
+                                        policy,
+                                        &mut pos_counts,
+                                        node as usize,
+                                        if value { self.n as u64 } else { 0 },
+                                    ),
+                                    fold_tree_counts_wide(policy, &mut neg_counts),
+                                ),
+                                _ => (
+                                    fold_tree_counts_wide(policy, &mut pos_counts),
+                                    fold_tree_counts_wide(policy, &mut neg_counts),
+                                ),
+                            }
                         }
                         AdderKind::Mux => {
                             let mut window = |tree| {
@@ -804,9 +959,15 @@ fn padded_nodes(padded: usize) -> usize {
 
 impl FirstLayer for StochasticConvLayer {
     fn forward_image(&self, image: &[f32]) -> Result<Vec<f32>, Error> {
+        self.forward_image_indexed(image, 0)
+    }
+
+    fn forward_image_indexed(&self, image: &[f32], image_index: u64) -> Result<Vec<f32>, Error> {
         if self.uses_count_table() {
-            self.forward_image_lut(image)
+            self.forward_image_lut(image, image_index)
         } else {
+            // The streaming fault realization is seeded by image content,
+            // so the index is irrelevant here.
             self.forward_image_streaming(image)
         }
     }
@@ -981,7 +1142,7 @@ mod tests {
     fn bit_errors_degrade_gracefully() {
         let c = conv();
         let clean_opts = ScOptions::this_work();
-        let noisy_opts = ScOptions { bit_error_rate: 0.02, ..clean_opts };
+        let noisy_opts = ScOptions { fault: FaultModel::BitError(0.02), ..clean_opts };
         let img = test_image(17);
         let clean = StochasticConvLayer::from_conv(&c, precision(6), clean_opts)
             .unwrap()
@@ -1037,11 +1198,14 @@ mod tests {
     }
 
     #[test]
-    fn streaming_only_configurations_skip_the_table() {
-        let noisy = ScOptions { bit_error_rate: 0.01, ..ScOptions::this_work() };
+    fn faulted_tff_configurations_keep_the_table() {
+        // Fault injection no longer forfeits the count path: bit errors
+        // run as count deltas at LUT speed.
+        let noisy = ScOptions { fault: FaultModel::BitError(0.01), ..ScOptions::this_work() };
         let engine = StochasticConvLayer::from_conv(&conv(), precision(4), noisy).unwrap();
-        assert!(!engine.uses_count_table());
-        assert_eq!(engine.lane_width(), None);
+        assert!(engine.uses_count_table());
+        assert_eq!(engine.lane_width(), Some(LaneWidth::U64));
+        // The MUX tree still streams.
         let mux =
             StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::old_sc()).unwrap();
         assert!(!mux.uses_count_table());
@@ -1074,15 +1238,15 @@ mod tests {
     fn explicit_width_rejects_streaming_only_configurations() {
         let mux = ScOptions { lane_width: LaneWidth::U64, ..ScOptions::old_sc() };
         assert!(StochasticConvLayer::from_conv(&conv(), precision(4), mux).is_err());
+        // A faulted TFF engine keeps the count path, so an explicit width
+        // now compiles (it used to force streaming and error out).
         let noisy = ScOptions {
             lane_width: LaneWidth::U32,
-            bit_error_rate: 0.01,
+            fault: FaultModel::BitError(0.01),
             ..ScOptions::this_work()
         };
-        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), noisy).is_err());
-        // Auto silently falls back instead.
-        let auto_noisy = ScOptions { bit_error_rate: 0.01, ..ScOptions::this_work() };
-        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), auto_noisy).is_ok());
+        let engine = StochasticConvLayer::from_conv(&conv(), precision(4), noisy).unwrap();
+        assert_eq!(engine.lane_width(), Some(LaneWidth::U32));
     }
 
     #[test]
@@ -1151,10 +1315,16 @@ mod tests {
         assert!(err.to_string().contains("count-domain"), "{err}");
         let noisy = ScOptions {
             window_cache: WindowCacheMode::on(),
-            bit_error_rate: 0.01,
+            fault: FaultModel::BitError(0.01),
             ..ScOptions::this_work()
         };
         assert!(StochasticConvLayer::from_conv(&conv(), precision(4), noisy).is_err());
+        let stuck = ScOptions {
+            window_cache: WindowCacheMode::on(),
+            fault: FaultModel::StuckAt { site: FaultSite::LutTap { tap: 0 }, value: true },
+            ..ScOptions::this_work()
+        };
+        assert!(StochasticConvLayer::from_conv(&conv(), precision(4), stuck).is_err());
         let zero =
             ScOptions { window_cache: WindowCacheMode::Entries(0), ..ScOptions::this_work() };
         assert!(StochasticConvLayer::from_conv(&conv(), precision(4), zero).is_err());
@@ -1178,7 +1348,7 @@ mod tests {
     #[test]
     fn geometric_fault_injection_hits_expected_rate() {
         // Flip count over many stream bits should concentrate near p.
-        let opts = ScOptions { bit_error_rate: 0.05, ..ScOptions::this_work() };
+        let opts = ScOptions { fault: FaultModel::BitError(0.05), ..ScOptions::this_work() };
         let engine = StochasticConvLayer::from_conv(&conv(), precision(8), opts).unwrap();
         let clean_opts = ScOptions::this_work();
         let clean_engine =
@@ -1198,5 +1368,199 @@ mod tests {
         let total = (img.len() * engine.stream_len()) as f64;
         let rate = flips as f64 / total;
         assert!((rate - 0.05).abs() < 0.01, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_bit_error_model_is_bit_exact_with_fault_free() {
+        let c = conv();
+        let zero = ScOptions { fault: FaultModel::BitError(0.0), ..ScOptions::this_work() };
+        let engine = StochasticConvLayer::from_conv(&c, precision(6), zero).unwrap();
+        let clean =
+            StochasticConvLayer::from_conv(&c, precision(6), ScOptions::this_work()).unwrap();
+        assert!(engine.uses_count_table());
+        let img = test_image(23);
+        let expect = clean.forward_image(&img).unwrap();
+        assert_eq!(engine.forward_image(&img).unwrap(), expect);
+        // Index-independent too: no plan exists to sample from.
+        assert_eq!(engine.forward_image_indexed(&img, 7).unwrap(), expect);
+    }
+
+    #[test]
+    fn faulted_lut_forward_is_a_function_of_the_image_index() {
+        let opts = ScOptions { fault: FaultModel::BitError(0.05), ..ScOptions::this_work() };
+        let engine = StochasticConvLayer::from_conv(&conv(), precision(6), opts).unwrap();
+        assert!(engine.uses_count_table(), "faulted TFF should stay on the LUT path");
+        let img = test_image(11);
+        let a = engine.forward_image_indexed(&img, 4).unwrap();
+        // Same index → byte-identical realization.
+        assert_eq!(a, engine.forward_image_indexed(&img, 4).unwrap());
+        // Another index draws another flip set.
+        assert_ne!(a, engine.forward_image_indexed(&img, 5).unwrap());
+    }
+
+    #[test]
+    fn stuck_at_faults_are_bit_exact_across_paths() {
+        // Stuck-at faults are deterministic, so the count-domain overrides
+        // must reproduce the streaming datapath defect bit for bit.
+        let c = conv();
+        let img = test_image(19);
+        for site in [
+            FaultSite::LutTap { tap: 7 },
+            FaultSite::LutTap { tap: 24 },
+            FaultSite::AdderNode { node: 0 },
+            FaultSite::AdderNode { node: 16 },
+            FaultSite::AdderNode { node: 30 },
+        ] {
+            for value in [false, true] {
+                let opts = ScOptions {
+                    fault: FaultModel::StuckAt { site, value },
+                    ..ScOptions::this_work()
+                };
+                let engine = StochasticConvLayer::from_conv(&c, precision(6), opts).unwrap();
+                assert!(engine.uses_count_table());
+                assert_eq!(
+                    engine.forward_image(&img).unwrap(),
+                    engine.forward_image_streaming(&img).unwrap(),
+                    "{site} value={value}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_validation_rejects_bad_sites() {
+        let c = conv();
+        let stuck_at = |site| FaultModel::StuckAt { site, value: true };
+        let make = |fault| ScOptions { fault, ..ScOptions::this_work() };
+        // Tap out of the 25-tap window.
+        let err = StochasticConvLayer::from_conv(
+            &c,
+            precision(4),
+            make(stuck_at(FaultSite::LutTap { tap: 25 })),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Dead node of the 25-tap fold (the padded tail never folds).
+        let err = StochasticConvLayer::from_conv(
+            &c,
+            precision(4),
+            make(stuck_at(FaultSite::AdderNode { node: 13 })),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("live"), "{err}");
+        assert!(StochasticConvLayer::from_conv(
+            &c,
+            precision(4),
+            make(stuck_at(FaultSite::AdderNode { node: 31 })),
+        )
+        .is_err());
+        // The MUX tree has no count-domain site to pin.
+        let mux =
+            ScOptions { fault: stuck_at(FaultSite::LutTap { tap: 0 }), ..ScOptions::old_sc() };
+        let err = StochasticConvLayer::from_conv(&c, precision(4), mux).unwrap_err();
+        assert!(err.to_string().contains("TFF"), "{err}");
+        // Malformed rates are rejected up front, NaN included.
+        assert!(StochasticConvLayer::from_conv(
+            &c,
+            precision(4),
+            make(FaultModel::BitError(f64::NAN)),
+        )
+        .is_err());
+        assert!(StochasticConvLayer::from_conv(&c, precision(4), make(FaultModel::BitError(1.5)))
+            .is_err());
+        // A well-formed compound model compiles.
+        let compound = FaultModel::Compound {
+            ber: 0.01,
+            site: FaultSite::AdderNode { node: 30 },
+            value: false,
+        };
+        assert!(StochasticConvLayer::from_conv(&c, precision(4), make(compound)).is_ok());
+    }
+
+    #[test]
+    fn count_domain_faults_match_streaming_statistics() {
+        // Both fault paths sample Bernoulli(p) per stream bit — flip-count
+        // moments must match the Binomial(784·N, p) law, and the ternary
+        // feature perturbation rate must agree across paths (the two
+        // realizations differ; their statistics must not).
+        let c = conv();
+        for (bits, ber) in [(4u32, 0.1f64), (6, 0.05)] {
+            let clean = StochasticConvLayer::from_conv(&c, precision(bits), ScOptions::this_work())
+                .unwrap();
+            let opts = ScOptions { fault: FaultModel::BitError(ber), ..ScOptions::this_work() };
+            let engine = StochasticConvLayer::from_conv(&c, precision(bits), opts).unwrap();
+            let plan = engine.fault_plan.as_ref().expect("ber > 0 builds a plan");
+            let n = engine.stream_len();
+            let images = 24u64;
+            let (mut lut_flips, mut str_flips) = (Vec::new(), Vec::new());
+            let (mut lut_frac, mut str_frac) = (0.0f64, 0.0f64);
+            for i in 0..images {
+                let img = test_image(i * 17 + 3);
+                let levels: Vec<usize> =
+                    img.iter().map(|&v| pixel_level(v, bits) as usize).collect();
+                lut_flips.push(plan.typed::<u64>().image_faults(&levels, i).flips as f64);
+                let noisy = engine.pixel_streams(&img).unwrap();
+                let base_streams = clean.pixel_streams(&img).unwrap();
+                let flips: u64 = (0..img.len())
+                    .map(|p| {
+                        noisy
+                            .stream(p)
+                            .iter()
+                            .zip(base_streams.stream(p))
+                            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+                            .sum::<u64>()
+                    })
+                    .sum();
+                str_flips.push(flips as f64);
+                let base = clean.forward_image(&img).unwrap();
+                let frac = |out: &[f32]| {
+                    out.iter().zip(&base).filter(|(a, b)| (**a - **b).abs() > 0.5).count() as f64
+                        / base.len() as f64
+                };
+                lut_frac += frac(&engine.forward_image_indexed(&img, i).unwrap());
+                str_frac += frac(&engine.forward_image_streaming(&img).unwrap());
+            }
+            let stats = |v: &[f64]| {
+                let m = v.iter().sum::<f64>() / v.len() as f64;
+                let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64;
+                (m, var)
+            };
+            let (lm, lv) = stats(&lut_flips);
+            let (sm, sv) = stats(&str_flips);
+            let expect_mean = 784.0 * n as f64 * ber;
+            let expect_var = expect_mean * (1.0 - ber);
+            assert!((lm - expect_mean).abs() < 0.05 * expect_mean, "bits={bits} lut mean {lm}");
+            assert!((sm - expect_mean).abs() < 0.05 * expect_mean, "bits={bits} str mean {sm}");
+            assert!(lv > 0.3 * expect_var && lv < 3.0 * expect_var, "bits={bits} lut var {lv}");
+            assert!(sv > 0.3 * expect_var && sv < 3.0 * expect_var, "bits={bits} str var {sv}");
+            let (lf, sf) = (lut_frac / images as f64, str_frac / images as f64);
+            assert!(lf > 0.0 && sf > 0.0, "bits={bits} lut {lf} streaming {sf}");
+            assert!(
+                (lf - sf).abs() < 0.25 * lf.max(sf) + 0.01,
+                "bits={bits} perturbation rates diverge: lut {lf} vs streaming {sf}"
+            );
+        }
+    }
+
+    #[test]
+    fn level_stream_cache_recovers_from_poison() {
+        // A worker panicking mid-conversion must not wedge every later
+        // pixel conversion: the cache holds only recomputable streams.
+        let engine =
+            StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::old_sc()).unwrap();
+        let cache = Arc::clone(&engine.level_streams);
+        let _ = std::thread::spawn(move || {
+            let _guard = cache.lock().unwrap();
+            panic!("poison the level stream cache");
+        })
+        .join();
+        assert!(engine.level_streams.lock().is_err(), "lock should be poisoned");
+        let img = test_image(3);
+        let streams = engine.pixel_streams(&img).unwrap();
+        assert_eq!(streams.len(), 784);
+        // Still correct, not just non-panicking.
+        let clean =
+            StochasticConvLayer::from_conv(&conv(), precision(4), ScOptions::old_sc()).unwrap();
+        assert_eq!(streams, clean.pixel_streams(&img).unwrap());
     }
 }

@@ -29,9 +29,14 @@ pub fn parse_idx_images(bytes: &[u8]) -> Result<(Vec<f32>, usize, usize, usize),
     let count = be_u32(bytes, 4)? as usize;
     let rows = be_u32(bytes, 8)? as usize;
     let cols = be_u32(bytes, 12)? as usize;
-    let expected = count * rows * cols;
-    let payload = bytes
-        .get(16..16 + expected)
+    // Checked: three u32 dimensions can overflow even a 64-bit usize, and
+    // an adversarial header must parse-error, not wrap into a short slice.
+    let expected = count.checked_mul(rows).and_then(|n| n.checked_mul(cols)).ok_or_else(|| {
+        Error::ParseIdx { reason: format!("image dimensions {count}x{rows}x{cols} overflow") }
+    })?;
+    let payload = 16usize
+        .checked_add(expected)
+        .and_then(|end| bytes.get(16..end))
         .ok_or_else(|| Error::ParseIdx { reason: format!("expected {expected} pixels") })?;
     Ok((payload.iter().map(|&b| f32::from(b) / 255.0).collect(), count, rows, cols))
 }
@@ -47,8 +52,9 @@ pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<u8>, Error> {
         return Err(Error::ParseIdx { reason: format!("bad label magic {magic:#010x}") });
     }
     let count = be_u32(bytes, 4)? as usize;
-    let payload = bytes
-        .get(8..8 + count)
+    let payload = 8usize
+        .checked_add(count)
+        .and_then(|end| bytes.get(8..end))
         .ok_or_else(|| Error::ParseIdx { reason: format!("expected {count} labels") })?;
     Ok(payload.to_vec())
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the training framework.
 
 use proptest::prelude::*;
-use scnn_nn::data::{BatchSource, ChunkLoader, Dataset};
+use scnn_nn::data::{parse_idx_images, parse_idx_labels, BatchSource, ChunkLoader, Dataset};
 use scnn_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Padding, Relu, Sign};
 use scnn_nn::quant::{pixel_level, quantize_bipolar, scale_kernels, soft_threshold, weight_level};
 use scnn_nn::{softmax_cross_entropy, Network, Tensor};
@@ -186,5 +186,44 @@ proptest! {
         let out = soft_threshold(v, tau);
         prop_assert!(out == 0.0 || out == v);
         prop_assert_eq!(out == 0.0, v.abs() <= tau);
+    }
+
+    /// The IDX parsers never panic on arbitrary bytes: every malformed
+    /// input lands in `Err(Error::ParseIdx)`, never an index or overflow
+    /// panic.
+    #[test]
+    fn idx_parsers_never_panic_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let _ = parse_idx_images(&bytes);
+        let _ = parse_idx_labels(&bytes);
+    }
+
+    /// A valid IDX image file with one mutated byte either still parses or
+    /// fails cleanly — and truncating it at any point fails cleanly.
+    #[test]
+    fn mutated_and_truncated_idx_files_fail_cleanly(
+        count in 0usize..4,
+        rows in 0usize..5,
+        cols in 0usize..5,
+        mutate_at in 0usize..96,
+        mutate_to in any::<u8>(),
+        cut in 0usize..96,
+    ) {
+        let mut file = Vec::new();
+        file.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        file.extend_from_slice(&(count as u32).to_be_bytes());
+        file.extend_from_slice(&(rows as u32).to_be_bytes());
+        file.extend_from_slice(&(cols as u32).to_be_bytes());
+        file.extend((0..count * rows * cols).map(|i| (i % 256) as u8));
+        prop_assert!(parse_idx_images(&file).is_ok());
+
+        let mut mutated = file.clone();
+        let at = mutate_at % mutated.len();
+        mutated[at] = mutate_to;
+        if let Ok((pixels, c, r, k)) = parse_idx_images(&mutated) {
+            prop_assert_eq!(pixels.len(), c * r * k);
+        }
+        let _ = parse_idx_images(&file[..cut.min(file.len())]);
     }
 }

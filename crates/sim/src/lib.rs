@@ -47,6 +47,7 @@ mod tree;
 
 pub use add::{MuxAdder, OrAdder, TffAdder};
 pub use counter::{AsyncCounter, UpDownCounter};
+pub use fault::{FaultError, FaultModel, FaultSite};
 pub use fsm::{Power, Stanh};
 pub use mult::Multiplier;
 pub use tff::{TFlipFlop, TffHalver};

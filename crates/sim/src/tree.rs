@@ -215,7 +215,7 @@ impl Clone for MuxAdderTree {
             select_width: self.select_width,
             seed: self.seed,
             select_cache: std::sync::Mutex::new(
-                self.select_cache.lock().expect("select cache poisoned").clone(),
+                self.select_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
             ),
         }
     }
@@ -281,7 +281,9 @@ impl MuxAdderTree {
     /// The whole select bank (one stream per node) for stream length `len`,
     /// generated once and cached.
     fn select_bank(&self, len: usize) -> std::sync::Arc<Vec<BitStream>> {
-        let mut cache = self.select_cache.lock().expect("select cache poisoned");
+        // Recover a poisoned guard: the cache holds only recomputable
+        // select banks, so a panic mid-insert at worst loses an entry.
+        let mut cache = self.select_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some((_, bank)) = cache.iter().find(|(l, _)| *l == len) {
             return bank.clone();
         }

@@ -4,7 +4,9 @@
 //! noise, unlike a binary word where one MSB flip halves the range.
 
 use scnn::bitstream::{BitStream, Precision};
-use scnn::core::{train_base, HybridLenet, ScOptions, StochasticConvLayer, TrainConfig};
+use scnn::core::{
+    train_base, FaultModel, HybridLenet, ScOptions, StochasticConvLayer, TrainConfig,
+};
 use scnn::nn::data::synthetic;
 use scnn::sim::fault::{inject_exact_flips, max_value_perturbation};
 
@@ -16,7 +18,7 @@ fn stream_value_perturbation_is_linear_in_flips() {
     let v0 = original.unipolar().get();
     for flips in [1usize, 8, 32] {
         let mut s = original.clone();
-        inject_exact_flips(&mut s, flips, &mut rng);
+        inject_exact_flips(&mut s, flips, &mut rng).expect("flip budget fits");
         let dv = (s.unipolar().get() - v0).abs();
         assert!(dv <= max_value_perturbation(flips, 256) + 1e-12);
     }
@@ -24,16 +26,19 @@ fn stream_value_perturbation_is_linear_in_flips() {
 
 #[test]
 fn hybrid_classifier_survives_stream_bit_errors() {
-    let train = synthetic::generate(300, 21);
-    let test = synthetic::generate(60, 22);
-    let base = train_base(&train, &test, &TrainConfig { epochs: 2, ..TrainConfig::default() })
+    let train = synthetic::generate(500, 21);
+    let test = synthetic::generate(120, 22);
+    let base = train_base(&train, &test, &TrainConfig { epochs: 4, ..TrainConfig::default() })
         .expect("base");
     let precision = Precision::new(6).expect("valid");
 
     let accuracy_at = |ber: f64| {
-        let options = ScOptions { bit_error_rate: ber, ..ScOptions::this_work() };
+        let options = ScOptions { fault: FaultModel::BitError(ber), ..ScOptions::this_work() };
         let engine =
             StochasticConvLayer::from_conv(base.conv1(), precision, options).expect("engine");
+        // Bit errors ride the count-domain fast path now — the whole sweep
+        // runs at LUT speed.
+        assert!(engine.uses_count_table(), "faulted TFF engine left the LUT path");
         let mut hybrid = HybridLenet::new(Box::new(engine), base.tail_clone());
         hybrid.evaluate(&test, 64).expect("evaluate").accuracy
     };
@@ -46,4 +51,30 @@ fn hybrid_classifier_survives_stream_bit_errors() {
     // And heavy noise should hurt more than light noise (sanity direction).
     let heavy = accuracy_at(0.2);
     assert!(heavy <= noisy + 0.05, "heavy noise {heavy:.3} vs light {noisy:.3}");
+
+    // Mean accuracy (averaged over fault-seed realizations) is
+    // non-increasing in the bit-error rate over widely spaced points. A
+    // single realization can jitter either way at these sizes — one
+    // flipped feature moves a handful of classifications — so the property
+    // holds in the mean, with a small slack for residual sampling noise.
+    let mean_accuracy_at = |ber: f64| {
+        let seeds = [0u64, 1001, 2002];
+        let mean: f64 = seeds
+            .iter()
+            .map(|&seed| {
+                let options =
+                    ScOptions { fault: FaultModel::BitError(ber), seed, ..ScOptions::this_work() };
+                let engine = StochasticConvLayer::from_conv(base.conv1(), precision, options)
+                    .expect("engine");
+                let mut hybrid = HybridLenet::new(Box::new(engine), base.tail_clone());
+                hybrid.evaluate(&test, 64).expect("evaluate").accuracy
+            })
+            .sum::<f64>()
+            / seeds.len() as f64;
+        mean
+    };
+    let curve: Vec<f64> = [0.0, 0.1, 0.4].iter().map(|&ber| mean_accuracy_at(ber)).collect();
+    for pair in curve.windows(2) {
+        assert!(pair[1] <= pair[0] + 0.05, "mean accuracy rose with BER: {curve:?}");
+    }
 }
