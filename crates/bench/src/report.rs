@@ -24,22 +24,52 @@ pub mod key {
     /// assert_eq!(key::bin_for("table3_accuracy", true), "bin/table3_accuracy+window_cache");
     /// ```
     pub fn bin_for(name: &str, window_cache_on: bool) -> String {
-        if window_cache_on {
-            format!("bin/{name}+window_cache")
-        } else {
-            format!("bin/{name}")
-        }
+        bin_with(name, window_cache_on, false)
     }
 
-    /// [`bin_for`] with the suffix decided by the live `SCNN_WINDOW_CACHE`
-    /// environment setting (an unparseable value counts as off — the
-    /// harness setup already failed fast on it).
+    /// The general cache-rerun key: `bin/<name>` with a `+window_cache`
+    /// and/or `+feature_cache` suffix per enabled cache, in that fixed
+    /// order. Each cache-on rerun gets its own key so it never overwrites
+    /// the cache-off baseline the perf gate diffs against.
+    ///
+    /// ```
+    /// use scnn_bench::report::key;
+    ///
+    /// assert_eq!(key::bin_with("retrain_ablation", false, false), "bin/retrain_ablation");
+    /// assert_eq!(
+    ///     key::bin_with("retrain_ablation", false, true),
+    ///     "bin/retrain_ablation+feature_cache"
+    /// );
+    /// assert_eq!(
+    ///     key::bin_with("retrain_ablation", true, true),
+    ///     "bin/retrain_ablation+window_cache+feature_cache"
+    /// );
+    /// ```
+    pub fn bin_with(name: &str, window_cache_on: bool, feature_cache_on: bool) -> String {
+        let mut key = format!("bin/{name}");
+        if window_cache_on {
+            key.push_str("+window_cache");
+        }
+        if feature_cache_on {
+            key.push_str("+feature_cache");
+        }
+        key
+    }
+
+    /// [`bin_with`] with the suffixes decided by the live
+    /// `SCNN_WINDOW_CACHE` / `SCNN_FEATURE_CACHE` environment settings (an
+    /// unparseable value counts as off — the harness setup already failed
+    /// fast on it).
     pub fn bin(name: &str) -> String {
-        let cache_on = std::env::var(scnn_core::counts::WINDOW_CACHE_ENV)
+        let window_on = std::env::var(scnn_core::counts::WINDOW_CACHE_ENV)
             .ok()
             .and_then(|v| scnn_core::WindowCacheMode::from_env_value(&v).ok())
             .is_some_and(|mode| mode.is_on());
-        bin_for(name, cache_on)
+        let feature_on = std::env::var(scnn_core::FEATURE_CACHE_ENV)
+            .ok()
+            .and_then(|v| scnn_core::FeatureCacheMode::from_env_value(&v).ok())
+            .is_some_and(|mode| mode.is_on());
+        bin_with(name, window_on, feature_on)
     }
 
     /// Per-precision measurement: `<group>/<metric>/<bits>`, e.g.
@@ -610,9 +640,33 @@ mod tests {
     }
 
     #[test]
+    fn feature_cache_counter_keys_are_skipped_by_the_gate() {
+        // The retrain_ablation feature-cache exports are counters and a
+        // derived speedup — all non-timing; the sweep wall clocks gate.
+        assert!(is_non_timing("retrain_ablation/feature_cache/hits"));
+        assert!(is_non_timing("retrain_ablation/feature_cache/misses"));
+        assert!(is_non_timing("retrain_ablation/speedup_feature_cache_x"));
+        assert!(is_non_timing("obs/feature_cache/hits"));
+        assert!(is_non_timing("obs/feature_cache/evictions"));
+        assert!(is_non_timing("train_epoch/speedup_threads_x"));
+        assert!(!is_non_timing("retrain_ablation/sweep_uncached_ns"));
+        assert!(!is_non_timing("retrain_ablation/sweep_cached_ns"));
+        assert!(!is_non_timing("train_epoch/epoch_1thread_ns"));
+    }
+
+    #[test]
     fn key_helpers_build_the_documented_conventions() {
         assert_eq!(key::bin_for("table1_mse", false), "bin/table1_mse");
         assert_eq!(key::bin_for("table1_mse", true), "bin/table1_mse+window_cache");
+        assert_eq!(key::bin_with("retrain_ablation", false, false), "bin/retrain_ablation");
+        assert_eq!(
+            key::bin_with("retrain_ablation", false, true),
+            "bin/retrain_ablation+feature_cache"
+        );
+        assert_eq!(
+            key::bin_with("retrain_ablation", true, true),
+            "bin/retrain_ablation+window_cache+feature_cache"
+        );
         assert_eq!(key::per_bits("forward_image", "tff_lut", 23), "forward_image/tff_lut/23");
         assert_eq!(key::lanes("dense_forward", "u8", 4), "dense_forward/lanes_u8/4");
         assert_eq!(key::obs("nn/images_evaluated"), "obs/nn/images_evaluated");

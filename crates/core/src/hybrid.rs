@@ -128,6 +128,20 @@ impl HybridLenet {
         FeatureSource::new(self.head.as_ref(), source)
     }
 
+    /// Splits the network into its mutable tail and a streaming
+    /// [`FeatureSource`] over `source` — the split borrow the streaming
+    /// retrain loop needs: the frozen head computes feature chunks on
+    /// demand while the tail trains on them, with no materialized feature
+    /// tensor and no second `self` borrow.
+    pub fn tail_and_features<'a, S: BatchSource + ?Sized>(
+        &'a mut self,
+        source: &'a S,
+    ) -> (&'a mut Network, FeatureSource<'a, S>) {
+        let Self { head, tail } = self;
+        let head: &'a dyn FirstLayer = &**head;
+        (tail, FeatureSource::new(head, source))
+    }
+
     /// Classifies one image end to end.
     ///
     /// # Errors

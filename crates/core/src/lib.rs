@@ -60,6 +60,7 @@ pub mod counts;
 mod dense;
 mod error;
 mod faults;
+mod featcache;
 mod hybrid;
 pub mod parallel;
 mod retrain;
@@ -73,8 +74,14 @@ pub use counts::{
 };
 pub use dense::{DenseInput, StochasticDenseLayer};
 pub use error::Error;
+pub use featcache::{
+    FeatureCache, FeatureCacheMode, FeatureCacheStats, FeatureKey, DEFAULT_FEATURE_CACHE_ENTRIES,
+    FEATURE_CACHE_ENV,
+};
 pub use hybrid::{FeatureSource, HybridLenet};
-pub use retrain::{retrain, train_base, BaseModel, RetrainConfig, RetrainReport, TrainConfig};
+pub use retrain::{
+    retrain, retrain_with_cache, train_base, BaseModel, RetrainConfig, RetrainReport, TrainConfig,
+};
 pub use scenario::{HeadKind, ScenarioBuilder, ScenarioSpec};
 pub use scnn_sim::{FaultError, FaultModel, FaultSite};
 pub use stochastic::{AdderKind, ScOptions, SourceKind, StochasticConvLayer};

@@ -71,6 +71,34 @@ pub trait BatchSource: Sync {
     fn item_len(&self) -> usize {
         self.item_shape().iter().product()
     }
+
+    /// Materializes the (not necessarily contiguous) items `indices` as a
+    /// `[indices.len(), …item_shape]` tensor plus their labels — what a
+    /// shuffled training pass needs from a streaming source.
+    ///
+    /// The default assembles the batch item by item through
+    /// [`batch_range`](Self::batch_range), so index-seeded sources (fault
+    /// injection keyed on the absolute item index) stay byte-identical
+    /// with their contiguous reads; [`Dataset`] overrides it with its
+    /// direct indexed gather.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDataset`] for an out-of-range index, or a
+    /// loader-specific error.
+    fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<u8>), Error> {
+        let item_len = self.item_len();
+        let mut data = Vec::with_capacity(indices.len() * item_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let (x, l) = self.batch_range(i..i + 1)?;
+            data.extend_from_slice(x.data());
+            labels.extend_from_slice(&l);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(self.item_shape());
+        Ok((Tensor::from_vec(data, &shape)?, labels))
+    }
 }
 
 impl BatchSource for Dataset {
@@ -90,6 +118,10 @@ impl BatchSource for Dataset {
         let mut shape = vec![range.len()];
         shape.extend_from_slice(&self.item_shape);
         Ok((Tensor::from_vec(data, &shape)?, labels))
+    }
+
+    fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<u8>), Error> {
+        self.batch(indices)
     }
 }
 
@@ -193,6 +225,34 @@ mod tests {
         let reversed = 5..2;
         assert!(ds.batch_range(reversed).is_err());
         assert!(ds.batch_range(8..8).is_ok()); // empty suffix chunk
+    }
+
+    #[test]
+    fn gather_matches_indexed_batch_on_both_sources() {
+        let ds = dataset();
+        let loader = ChunkLoader::new(8, &[3], |range: Range<usize>| {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for i in range {
+                data.extend((0..3).map(|j| (i * 3 + j) as f32));
+                labels.push(i as u8 + 1);
+            }
+            Ok((data, labels))
+        });
+        let indices = [5usize, 0, 3, 3, 7];
+        let (expect, expect_labels) = ds.batch(&indices).unwrap();
+        // The Dataset override and the per-item default assemble the same
+        // batch, labels, and shape.
+        let (a, la) = BatchSource::gather(&ds, &indices).unwrap();
+        let (b, lb) = loader.gather(&indices).unwrap();
+        assert_eq!(a.shape(), expect.shape());
+        assert_eq!(a.data(), expect.data());
+        assert_eq!(b.data(), expect.data());
+        assert_eq!(la, expect_labels);
+        assert_eq!(lb, expect_labels);
+        // Out-of-range indices are rejected, empty gathers succeed.
+        assert!(loader.gather(&[8]).is_err());
+        assert_eq!(loader.gather(&[]).unwrap().1.len(), 0);
     }
 
     #[test]

@@ -45,6 +45,16 @@ impl Dropout {
     pub fn rate(&self) -> f32 {
         self.rate
     }
+
+    /// Resets the mask stream to a fresh deterministic sequence.
+    ///
+    /// The data-parallel trainer clones one network per gradient shard and
+    /// reseeds each clone's dropout from the `(batch, shard)` pair, so the
+    /// masks depend only on the shard boundaries — which are fixed — and
+    /// never on how many worker threads the shards run on.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
 }
 
 impl Layer for Dropout {
@@ -139,5 +149,22 @@ mod tests {
     #[should_panic(expected = "outside [0, 1)")]
     fn rate_validated() {
         let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn reseed_replays_the_same_masks() {
+        let x = Tensor::filled(&[64], 1.0);
+        let mut d = Dropout::new(0.5, 9);
+        let first = d.forward(&x, true).unwrap();
+        // The stream has advanced; reseeding rewinds it exactly.
+        let drifted = d.forward(&x, true).unwrap();
+        assert_ne!(first.data(), drifted.data());
+        d.reseed(9);
+        assert_eq!(d.forward(&x, true).unwrap().data(), first.data());
+        // A different seed gives a different (still deterministic) stream.
+        d.reseed(10);
+        let other = d.forward(&x, true).unwrap();
+        d.reseed(10);
+        assert_eq!(d.forward(&x, true).unwrap().data(), other.data());
     }
 }

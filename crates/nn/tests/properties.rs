@@ -2,9 +2,59 @@
 
 use proptest::prelude::*;
 use scnn_nn::data::{parse_idx_images, parse_idx_labels, BatchSource, ChunkLoader, Dataset};
-use scnn_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Padding, Relu, Sign};
+use scnn_nn::layers::{Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2d, Padding, Relu, Sign};
+use scnn_nn::optim::Adam;
 use scnn_nn::quant::{pixel_level, quantize_bipolar, scale_kernels, soft_threshold, weight_level};
 use scnn_nn::{softmax_cross_entropy, Network, Tensor};
+
+/// A small synthetic classification dataset: `items` 6-float items over 3
+/// classes, fully determined by `seed`.
+fn tiny_dataset(items: usize, seed: u64) -> Dataset {
+    let item_len = 6usize;
+    let data: Vec<f32> = (0..items * item_len)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(seed * 2 + 1).wrapping_mul(0x9e37_79b9);
+            ((x >> 24) & 0xff) as f32 / 255.0
+        })
+        .collect();
+    let labels: Vec<u8> = (0..items).map(|i| ((i as u64 * 7 + seed) % 3) as u8).collect();
+    Dataset::new(data, &[item_len], labels).unwrap()
+}
+
+/// The training net the determinism properties exercise — deliberately
+/// includes [`Dropout`], the only RNG-stateful layer, since its mask
+/// stream is what data-parallel sharding could most easily perturb.
+fn tiny_net(seed: u64) -> Network {
+    let mut net = Network::new();
+    net.push(Dense::new(6, 8, seed ^ 0xA1));
+    net.push(Relu::new());
+    net.push(Dropout::new(0.4, seed ^ 0xD0));
+    net.push(Dense::new(8, 3, seed ^ 0xA2));
+    net
+}
+
+/// Trains `epochs` passes at an explicit worker count; returns the
+/// bit-pattern of every weight plus the per-epoch loss bit-patterns.
+fn train_fingerprint(
+    dataset: &Dataset,
+    seed: u64,
+    batch_size: usize,
+    epochs: usize,
+    threads: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut net = tiny_net(seed);
+    let mut opt = Adam::new(1e-3);
+    let mut losses = Vec::new();
+    for epoch in 0..epochs {
+        let loss = net
+            .train_epoch_threads(dataset, batch_size, &mut opt, seed ^ epoch as u64, threads)
+            .unwrap();
+        losses.push(loss.to_bits());
+    }
+    let mut weights = Vec::new();
+    net.visit_all_params(&mut |p, _| weights.extend(p.data().iter().map(|v| v.to_bits())));
+    (weights, losses)
+}
 
 proptest! {
     /// Evaluating over a streaming `ChunkLoader` is byte-identical with
@@ -60,6 +110,55 @@ proptest! {
         let mut joined_labels = la;
         joined_labels.extend(lb);
         prop_assert_eq!(joined_labels, full_labels);
+    }
+
+    /// Data-parallel training is byte-identical for every worker-thread
+    /// count: final weights and the loss trajectory match bit for bit for
+    /// 1/2/8 workers, across batch sizes — including batches smaller than
+    /// the 8-shard fan-out — and with a stateful [`Dropout`] in the net.
+    #[test]
+    fn sharded_training_byte_identical_across_thread_counts(
+        seed in 0u64..100,
+        items in 3usize..24,
+        batch_size in 1usize..13,
+        epochs in 1usize..3,
+    ) {
+        let dataset = tiny_dataset(items, seed);
+        let reference = train_fingerprint(&dataset, seed, batch_size, epochs, 1);
+        for threads in [2usize, 8] {
+            let run = train_fingerprint(&dataset, seed, batch_size, epochs, threads);
+            prop_assert_eq!(&run.0, &reference.0, "weights diverge at threads={}", threads);
+            prop_assert_eq!(&run.1, &reference.1, "losses diverge at threads={}", threads);
+        }
+    }
+
+    /// Training over a streaming `ChunkLoader` is byte-identical with
+    /// training over the materialized `Dataset` it mirrors: the shuffled
+    /// `gather` assembles the same shard batches either way.
+    #[test]
+    fn streamed_training_matches_materialized_dataset(
+        seed in 0u64..100,
+        items in 3usize..24,
+        batch_size in 1usize..13,
+    ) {
+        let dataset = tiny_dataset(items, seed);
+        let mirror = dataset.clone();
+        let streamed = ChunkLoader::new(items, &[6], move |range| {
+            let (x, labels) = mirror.batch_range(range)?;
+            Ok((x.into_vec(), labels))
+        });
+        let mut from_dataset = tiny_net(seed);
+        let mut from_stream = tiny_net(seed);
+        let mut opt_a = Adam::new(1e-3);
+        let mut opt_b = Adam::new(1e-3);
+        let la = from_dataset.train_epoch_threads(&dataset, batch_size, &mut opt_a, seed, 4).unwrap();
+        let lb = from_stream.train_epoch_threads(&streamed, batch_size, &mut opt_b, seed, 4).unwrap();
+        prop_assert_eq!(la.to_bits(), lb.to_bits());
+        let mut wa = Vec::new();
+        let mut wb = Vec::new();
+        from_dataset.visit_all_params(&mut |p, _| wa.extend_from_slice(p.data()));
+        from_stream.visit_all_params(&mut |p, _| wb.extend_from_slice(p.data()));
+        prop_assert_eq!(wa, wb);
     }
 
     /// Conv2d is linear: conv(a·x) == a·conv(x) (bias removed).
